@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Runtime overhead of PCAP (Section 3.2.2) — google-benchmark
+ * microbenchmarks.
+ *
+ * The paper argues the per-I/O work (obtain the PC, add it to the
+ * signature, one hash-table lookup) is "about four memory accesses"
+ * and insignificant next to the thousands of instructions an I/O
+ * takes. These benchmarks measure the actual cost of the
+ * signature update + table lookup, the training path, the Learning
+ * Tree step, and a full global-predictor access.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/global.hpp"
+#include "core/pcap.hpp"
+#include "pred/learning_tree.hpp"
+#include "pred/timeout.hpp"
+
+using namespace pcap;
+
+namespace {
+
+/** Pre-populate a table with n realistic entries. */
+std::shared_ptr<core::PredictionTable>
+makeTable(std::size_t n)
+{
+    auto table = std::make_shared<core::PredictionTable>();
+    for (std::size_t i = 0; i < n; ++i) {
+        core::TableKey key;
+        key.signature = static_cast<std::uint32_t>(
+            0x08048000u + i * 0x9e3779b9u);
+        table->train(key);
+    }
+    return table;
+}
+
+void
+BM_PcapOnIo(benchmark::State &state)
+{
+    const auto table =
+        makeTable(static_cast<std::size_t>(state.range(0)));
+    core::PcapConfig config;
+    core::PcapPredictor predictor(config, table);
+
+    pred::IoContext ctx;
+    ctx.time = 0;
+    ctx.sincePrev = millisUs(50);
+    ctx.pc = 0x08048010;
+    ctx.fd = 3;
+    for (auto _ : state) {
+        ctx.time += millisUs(100);
+        ctx.pc += 0x10;
+        benchmark::DoNotOptimize(predictor.onIo(ctx));
+    }
+}
+BENCHMARK(BM_PcapOnIo)->Arg(16)->Arg(139)->Arg(4096);
+
+void
+BM_PcapTrainingCycle(benchmark::State &state)
+{
+    const auto table = makeTable(64);
+    core::PcapConfig config;
+    core::PcapPredictor predictor(config, table);
+
+    pred::IoContext ctx;
+    ctx.time = 0;
+    ctx.pc = 0x08048010;
+    ctx.fd = 3;
+    for (auto _ : state) {
+        // A long idle period completes: training + path reset.
+        ctx.time += secondsUs(10);
+        ctx.sincePrev = secondsUs(10);
+        ctx.pc += 0x10;
+        benchmark::DoNotOptimize(predictor.onIo(ctx));
+    }
+}
+BENCHMARK(BM_PcapTrainingCycle);
+
+void
+BM_TableLookup(benchmark::State &state)
+{
+    const auto table =
+        makeTable(static_cast<std::size_t>(state.range(0)));
+    core::TableKey key;
+    key.signature = 0x08048000u + 7 * 0x9e3779b9u;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(table->lookup(key));
+}
+BENCHMARK(BM_TableLookup)->Arg(139)->Arg(4096);
+
+void
+BM_LearningTreeOnIo(benchmark::State &state)
+{
+    pred::LtConfig config;
+    auto tree = std::make_shared<pred::LtTree>(config);
+    pred::LtPredictor predictor(config, tree);
+
+    pred::IoContext ctx;
+    ctx.time = 0;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        ctx.time += secondsUs(4);
+        // Alternate short/long so the tree keeps training.
+        ctx.sincePrev = (++i % 3) ? secondsUs(2) : secondsUs(8);
+        benchmark::DoNotOptimize(predictor.onIo(ctx));
+    }
+}
+BENCHMARK(BM_LearningTreeOnIo);
+
+void
+BM_GlobalPredictorAccess(benchmark::State &state)
+{
+    const auto table = makeTable(64);
+    core::GlobalShutdownPredictor gsp(
+        [&table](Pid, TimeUs) {
+            return std::make_unique<core::PcapPredictor>(
+                core::PcapConfig{}, table);
+        });
+    const int processes = static_cast<int>(state.range(0));
+    for (Pid pid = 0; pid < processes; ++pid)
+        gsp.processStart(pid, 0);
+
+    trace::DiskAccess access;
+    access.pc = 0x08048010;
+    access.fd = 3;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        access.time += millisUs(100);
+        access.pid = static_cast<Pid>(++i % processes);
+        access.pc += 0x10;
+        benchmark::DoNotOptimize(gsp.onAccess(access));
+    }
+}
+BENCHMARK(BM_GlobalPredictorAccess)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_TimeoutOnIo(benchmark::State &state)
+{
+    pred::TimeoutPredictor predictor(secondsUs(10.0));
+    pred::IoContext ctx;
+    for (auto _ : state) {
+        ctx.time += millisUs(100);
+        benchmark::DoNotOptimize(predictor.onIo(ctx));
+    }
+}
+BENCHMARK(BM_TimeoutOnIo);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Online power manager demo: the OS-integration shape of PCAP.
+ *
+ * Drives the OnlineManager facade the way a syscall-interception
+ * layer would — process lifecycle callbacks, per-I/O notifications,
+ * and periodic polls — over two simulated "runs" of the same little
+ * application. The prediction table persists to a directory between
+ * the runs, so the second run predicts from its very first idle
+ * period: the paper's table-reuse story, live.
+ *
+ *   ./online_power_manager [table-dir]
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/online_manager.hpp"
+
+using namespace pcap;
+
+namespace {
+
+constexpr Pid kEditor = 42;
+constexpr Address kPcOpen = 0x08048010;
+constexpr Address kPcRead = 0x08048020;
+constexpr Address kPcSave = 0x08048030;
+
+/** One "session": open, read, think, save, think, exit. */
+void
+runSession(core::OnlineManager &manager, int run)
+{
+    std::printf("--- run %d ---\n", run);
+    TimeUs now = secondsUs(1);
+    manager.processStart(kEditor, now);
+
+    auto report = [&manager](const char *what, TimeUs at) {
+        const TimeUs due = manager.pendingShutdownAt();
+        std::printf("%7.2fs  %-28s disk=%-8s next spin-down: ",
+                    usToSeconds(at), what,
+                    power::diskStateName(manager.diskState()));
+        if (due == kTimeNever)
+            std::printf("none\n");
+        else
+            std::printf("%.2fs\n", usToSeconds(due));
+    };
+
+    // The open/read burst.
+    manager.onIo(kEditor, now, kPcOpen, 3, 7, 1);
+    now += millisUs(120);
+    for (int chunk = 0; chunk < 4; ++chunk) {
+        manager.onIo(kEditor, now, kPcRead, 3, 7, 4);
+        now += millisUs(90);
+    }
+    report("after the open/read burst", now);
+
+    // The user edits for 40 s; the host polls the manager like a
+    // timer tick would.
+    for (int tick = 0; tick < 8; ++tick) {
+        now += secondsUs(5);
+        if (manager.poll(now))
+            report("poll: disk spun down", now);
+    }
+
+    // Save and leave.
+    manager.onIo(kEditor, now, kPcSave, 3, 7, 8);
+    report("after the save (spin-up if slept)", now);
+    now += secondsUs(2);
+    manager.processExit(kEditor, now);
+    manager.finish(now + secondsUs(1));
+
+    std::printf("run %d summary: %llu spin-downs, %llu spin-ups, "
+                "%.1f J consumed, %zu trained signatures\n\n",
+                run,
+                static_cast<unsigned long long>(manager.shutdowns()),
+                static_cast<unsigned long long>(manager.spinUps()),
+                manager.energy().total(), manager.tableEntries());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string dir =
+        argc > 1 ? argv[1]
+                 : (std::filesystem::temp_directory_path() /
+                    "pcap_online_demo")
+                       .string();
+    std::filesystem::remove_all(dir);
+
+    core::OnlineManagerConfig config;
+    config.tableDirectory = dir;
+    config.application = "toy-editor";
+
+    std::printf("PCAP online power manager; tables persist in %s\n\n",
+                dir.c_str());
+
+    // Run 1: the predictor has never seen this application. The
+    // 40 s edit pause is covered only by the backup timeout.
+    {
+        core::OnlineManager manager(config);
+        runSession(manager, 1);
+    }
+
+    // Run 2: a fresh manager instance loads the trained table from
+    // disk — the application's "initialization file" — and the same
+    // pause is predicted immediately after the last read.
+    {
+        core::OnlineManager manager(config);
+        runSession(manager, 2);
+    }
+
+    std::printf("note how run 2 spins the disk down ~9 s earlier: "
+                "the signature trained in run 1 was reloaded.\n");
+    return 0;
+}

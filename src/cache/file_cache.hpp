@@ -1,0 +1,157 @@
+/**
+ * @file
+ * File (page) cache simulator.
+ *
+ * Models the Linux file cache the way the paper's evaluation does
+ * (Section 6): a 256 KB LRU cache in front of the disk, with a 30 s
+ * timer between flushes of dirty data. Traced I/O operations are
+ * filtered through the cache and only misses — plus dirty write-backs
+ * — become disk accesses.
+ */
+
+#ifndef PCAP_CACHE_FILE_CACHE_HPP
+#define PCAP_CACHE_FILE_CACHE_HPP
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace pcap::cache {
+
+/** Configuration of the file cache. */
+struct CacheParams
+{
+    std::size_t capacityBytes = 256 * 1024; ///< paper: 256 Kbytes
+    std::uint32_t blockSize = 4096;         ///< Linux page size
+    TimeUs flushInterval = secondsUs(30);   ///< paper: 30 s timer
+    /** How often the flush daemon checks dirty ages (Linux pdflush
+     * wakes every five seconds). */
+    TimeUs flushCheckPeriod = secondsUs(5);
+
+    /** Number of blocks the cache holds. */
+    std::size_t capacityBlocks() const
+    {
+        return capacityBytes / blockSize;
+    }
+
+    /** Empty string when consistent, else a problem description. */
+    std::string validate() const;
+};
+
+/** Aggregate statistics of one cache run. */
+struct CacheStats
+{
+    std::uint64_t lookups = 0;    ///< block lookups performed
+    std::uint64_t hits = 0;       ///< block lookups that hit
+    std::uint64_t misses = 0;     ///< block lookups that missed
+    std::uint64_t evictions = 0;  ///< blocks evicted
+    std::uint64_t writebackBlocks = 0; ///< dirty blocks written back
+    std::uint64_t flushRuns = 0;  ///< periodic flush activations
+
+    /** Hit ratio in [0,1]; 0 when there were no lookups. */
+    double hitRatio() const
+    {
+        return lookups ? static_cast<double>(hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+    }
+};
+
+/**
+ * LRU file cache with write-back and periodic dirty-data flushes.
+ *
+ * Reads miss per block and produce disk reads; a write to an
+ * uncached block is a read-modify-write fetch and reaches the disk
+ * too. Write hits dirty the block without disk traffic; dirty blocks
+ * are written back by the flush daemon once their age exceeds the
+ * flush interval (checked every flushCheckPeriod, like Linux
+ * pdflush) or when they are evicted. Opens probe a per-file metadata
+ * block through the same machinery, so a first open of a file costs
+ * a disk access while repeated opens are absorbed.
+ *
+ * Feed events in non-decreasing time order via access(), calling
+ * advanceTo() liberally so periodic flushes happen on schedule;
+ * flushAll() drains the dirty set at the end of a trace.
+ */
+class FileCache
+{
+  public:
+    explicit FileCache(const CacheParams &params);
+
+    /**
+     * Run the periodic flush daemon for all activations due up to
+     * @p time, appending write-back accesses to @p out.
+     */
+    void advanceTo(TimeUs time, std::vector<trace::DiskAccess> &out);
+
+    /**
+     * Apply one traced event (advanceTo(event.time) is implied) and
+     * append any generated disk accesses to @p out.
+     */
+    void access(const trace::TraceEvent &event,
+                std::vector<trace::DiskAccess> &out);
+
+    /** Write back everything still dirty at @p time. */
+    void flushAll(TimeUs time, std::vector<trace::DiskAccess> &out);
+
+    /** Statistics accumulated so far. */
+    const CacheStats &stats() const { return stats_; }
+
+    /** Number of blocks currently resident. */
+    std::size_t residentBlocks() const { return map_.size(); }
+
+    /** Number of resident blocks that are dirty. */
+    std::size_t dirtyBlocks() const;
+
+    /** Drop all cached state (used between executions: cold cache). */
+    void clear();
+
+  private:
+    /** Identity of one cached block: file id + block index. */
+    using BlockKey = std::uint64_t;
+
+    struct Block
+    {
+        BlockKey key;
+        bool dirty = false;
+        TimeUs dirtySince = 0; ///< when the block first became dirty
+    };
+
+    static BlockKey makeKey(FileId file, std::uint64_t block_index);
+
+    /**
+     * Look up one block; on miss, insert it (evicting as needed and
+     * appending eviction write-backs to @p out). Returns true on hit.
+     */
+    bool touchBlock(BlockKey key, bool dirty, TimeUs time,
+                    std::vector<trace::DiskAccess> &out);
+
+    /** Evict the LRU block, appending a write-back if dirty. */
+    void evictOne(TimeUs time, std::vector<trace::DiskAccess> &out);
+
+    CacheParams params_;
+    CacheStats stats_;
+    // Front = most recently used.
+    std::list<Block> lru_;
+    std::unordered_map<BlockKey, std::list<Block>::iterator> map_;
+    TimeUs nextFlush_;
+};
+
+/**
+ * Convenience pipeline: filter a whole trace through a fresh cache,
+ * returning the time-sorted disk access stream. @p stats_out, when
+ * non-null, receives the cache statistics.
+ */
+std::vector<trace::DiskAccess>
+filterTrace(const trace::Trace &trace, const CacheParams &params,
+            CacheStats *stats_out = nullptr);
+
+} // namespace pcap::cache
+
+#endif // PCAP_CACHE_FILE_CACHE_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The Global Shutdown Predictor (Section 5): per-process local
+ * predictors whose standing decisions are combined so the disk is
+ * shut down only when every live process consents.
+ */
+
+#ifndef PCAP_CORE_GLOBAL_HPP
+#define PCAP_CORE_GLOBAL_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "pred/predictor.hpp"
+#include "trace/event.hpp"
+
+namespace pcap::core {
+
+/**
+ * System-wide shutdown prediction for one execution of an
+ * application.
+ *
+ * Each process owns a private local predictor created by the factory
+ * (so PCAP processes share their application's prediction table while
+ * keeping private signatures, exactly as in Figure 4/5). The global
+ * decision is the latest of the live processes' standing decisions:
+ * the disk is spun down only once every process consents. The process
+ * holding the latest decision attributes the shutdown (primary vs
+ * backup), matching the paper's "last decision" accounting in
+ * Section 6.4.
+ */
+class GlobalShutdownPredictor
+{
+  public:
+    /** Creates the local predictor for a new process. */
+    using Factory = std::function<
+        std::unique_ptr<pred::ShutdownPredictor>(Pid, TimeUs)>;
+
+    explicit GlobalShutdownPredictor(Factory factory);
+
+    /**
+     * A process joins (initial process or fork). Its local predictor
+     * starts with consent-from-start: a process that never performs
+     * I/O never keeps the disk spinning.
+     */
+    void processStart(Pid pid, TimeUs time);
+
+    /** A process exits; its constraint disappears. */
+    void processExit(Pid pid, TimeUs time);
+
+    /** True when @p pid is currently registered and live. */
+    bool isLive(Pid pid) const { return slots_.count(pid) > 0; }
+
+    /** Number of live processes. */
+    std::size_t liveCount() const { return slots_.size(); }
+
+    /**
+     * Feed one disk access. The responsible process must be live
+     * (processes are registered by processStart). Computes the
+     * process's idle gap internally, updates its local predictor and
+     * returns the new *global* decision.
+     */
+    pred::ShutdownDecision onAccess(const trace::DiskAccess &access);
+
+    /** Current global decision (combine of all live processes). */
+    pred::ShutdownDecision globalDecision() const;
+
+    /** Standing decision of one live process (testing hook). */
+    pred::ShutdownDecision localDecision(Pid pid) const;
+
+  private:
+    struct Slot
+    {
+        std::unique_ptr<pred::ShutdownPredictor> predictor;
+        TimeUs lastIoTime = -1;
+        pred::ShutdownDecision decision;
+    };
+
+    Factory factory_;
+    std::map<Pid, Slot> slots_;
+};
+
+} // namespace pcap::core
+
+#endif // PCAP_CORE_GLOBAL_HPP

@@ -1,0 +1,116 @@
+#include "core/online_manager.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace pcap::core {
+
+OnlineManager::OnlineManager(const OnlineManagerConfig &config)
+    : config_(config),
+      table_(std::make_shared<PredictionTable>()),
+      global_([this](Pid, TimeUs start) {
+          return std::make_unique<PcapPredictor>(config_.pcap,
+                                                 table_, start);
+      }),
+      disk_(config.disk)
+{
+    if (!config_.tableDirectory.empty()) {
+        store_ = std::make_unique<TableStore>(
+            config_.tableDirectory);
+        bool found = false;
+        const std::string error =
+            store_->load(config_.application,
+                         config_.pcap.variantName(), *table_,
+                         found);
+        if (!error.empty()) {
+            warn("OnlineManager: could not load table: " + error);
+        } else if (found) {
+            inform("OnlineManager: loaded " +
+                   std::to_string(table_->size()) +
+                   " trained entries for " + config_.application);
+        }
+    }
+}
+
+void
+OnlineManager::processStart(Pid pid, TimeUs now)
+{
+    poll(now);
+    global_.processStart(pid, now);
+}
+
+void
+OnlineManager::processExit(Pid pid, TimeUs now)
+{
+    poll(now);
+    global_.processExit(pid, now);
+}
+
+TimeUs
+OnlineManager::onIo(Pid pid, TimeUs now, Address pc, Fd fd,
+                    FileId file, std::uint32_t blocks)
+{
+    if (finished_)
+        panic("OnlineManager::onIo after finish()");
+    poll(now);
+
+    lastCompletion_ = disk_.request(now, blocks);
+
+    trace::DiskAccess access;
+    access.time = now;
+    access.pid = pid;
+    access.pc = pc;
+    access.fd = fd;
+    access.file = file;
+    access.blocks = blocks;
+    global_.onAccess(access);
+    return lastCompletion_;
+}
+
+TimeUs
+OnlineManager::pendingShutdownAt() const
+{
+    if (disk_.state() == power::DiskState::Standby)
+        return kTimeNever;
+    const pred::ShutdownDecision decision = global_.globalDecision();
+    if (decision.earliest == kTimeNever)
+        return kTimeNever;
+    // The disk cannot spin down before it finishes its current
+    // service.
+    return std::max(decision.earliest, lastCompletion_);
+}
+
+bool
+OnlineManager::poll(TimeUs now)
+{
+    lastSeen_ = std::max(lastSeen_, now);
+    const TimeUs due = pendingShutdownAt();
+    if (due == kTimeNever || due > now)
+        return false;
+    return disk_.shutdown(due);
+}
+
+void
+OnlineManager::finish(TimeUs now)
+{
+    if (finished_)
+        panic("OnlineManager::finish called twice");
+    poll(now);
+    disk_.finish(now);
+    finished_ = true;
+    const std::string error = persist();
+    if (!error.empty())
+        warn("OnlineManager: could not persist table: " + error);
+}
+
+std::string
+OnlineManager::persist() const
+{
+    if (!store_)
+        return {};
+    return store_->save(config_.application,
+                        config_.pcap.variantName(), *table_);
+}
+
+} // namespace pcap::core

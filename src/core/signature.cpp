@@ -1,0 +1,14 @@
+#include "core/signature.hpp"
+
+namespace pcap::core {
+
+std::uint32_t
+PathSignature::ofPath(std::initializer_list<Address> pcs)
+{
+    PathSignature signature;
+    for (Address pc : pcs)
+        signature.extend(pc);
+    return signature.value();
+}
+
+} // namespace pcap::core

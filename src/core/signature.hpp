@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Path signatures: the paper's 4-byte encoding of a sequence of I/O
+ * triggering program counters (Section 3.2). The PCs on the path are
+ * arithmetically added into a 32-bit value, as first proposed for
+ * last-touch prediction by Lai and Falsafi.
+ */
+
+#ifndef PCAP_CORE_SIGNATURE_HPP
+#define PCAP_CORE_SIGNATURE_HPP
+
+#include <cstdint>
+#include <initializer_list>
+
+#include "util/types.hpp"
+
+namespace pcap::core {
+
+/**
+ * Accumulates the current path of I/O triggering PCs into a 4-byte
+ * signature. After an idle period longer than the breakeven time the
+ * signature is overwritten by the PC of the first I/O of the new
+ * path; every subsequent I/O adds its PC (mod 2^32).
+ */
+class PathSignature
+{
+  public:
+    PathSignature() = default;
+
+    /** Start a fresh path whose first PC is @p pc. */
+    void reset(Address pc) { value_ = pc; started_ = true; }
+
+    /**
+     * Extend the current path with @p pc. Extending a never-started
+     * signature is equivalent to reset(pc), so the first I/O of a
+     * process needs no special casing.
+     */
+    void
+    extend(Address pc)
+    {
+        if (started_)
+            value_ += pc; // wraps mod 2^32 by definition
+        else
+            reset(pc);
+    }
+
+    /** The 4-byte signature of the current path. */
+    std::uint32_t value() const { return value_; }
+
+    /** True once any PC has been folded in. */
+    bool started() const { return started_; }
+
+    /** Forget everything (new execution). */
+    void clear() { value_ = 0; started_ = false; }
+
+    /** Signature of a whole path given at once (testing helper). */
+    static std::uint32_t ofPath(std::initializer_list<Address> pcs);
+
+  private:
+    std::uint32_t value_ = 0;
+    bool started_ = false;
+};
+
+} // namespace pcap::core
+
+#endif // PCAP_CORE_SIGNATURE_HPP

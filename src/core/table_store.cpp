@@ -1,0 +1,62 @@
+#include "core/table_store.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace pcap::core {
+
+namespace fs = std::filesystem;
+
+TableStore::TableStore(std::string directory)
+    : directory_(std::move(directory))
+{
+}
+
+std::string
+TableStore::pathFor(const std::string &app,
+                    const std::string &variant) const
+{
+    return directory_ + "/" + app + "." + variant + ".ptab";
+}
+
+std::string
+TableStore::save(const std::string &app, const std::string &variant,
+                 const PredictionTable &table) const
+{
+    std::error_code ec;
+    fs::create_directories(directory_, ec);
+    if (ec)
+        return "cannot create " + directory_ + ": " + ec.message();
+
+    const std::string path = pathFor(app, variant);
+    std::ofstream os(path);
+    if (!os)
+        return "cannot open " + path + " for writing";
+    table.save(os);
+    return os ? std::string{} : "write error on " + path;
+}
+
+std::string
+TableStore::load(const std::string &app, const std::string &variant,
+                 PredictionTable &out, bool &found) const
+{
+    found = false;
+    const std::string path = pathFor(app, variant);
+    std::ifstream is(path);
+    if (!is)
+        return {}; // absent: first execution ever
+    const std::string error = out.load(is);
+    if (error.empty())
+        found = true;
+    return error;
+}
+
+bool
+TableStore::remove(const std::string &app,
+                   const std::string &variant) const
+{
+    std::error_code ec;
+    return fs::remove(pathFor(app, variant), ec);
+}
+
+} // namespace pcap::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Prediction-table persistence (Section 4.2): the trained table of an
+ * application is saved when the application exits — the paper stores
+ * it in the application's initialization file — and reloaded when a
+ * new instance starts, so training carries across executions.
+ */
+
+#ifndef PCAP_CORE_TABLE_STORE_HPP
+#define PCAP_CORE_TABLE_STORE_HPP
+
+#include <string>
+
+#include "core/prediction_table.hpp"
+
+namespace pcap::core {
+
+/**
+ * Directory-backed store of prediction tables, keyed by application
+ * name and predictor variant. Stands in for the per-application
+ * initialization files of the paper's design.
+ */
+class TableStore
+{
+  public:
+    /**
+     * @param directory Where table files live; created on first
+     *        save if missing.
+     */
+    explicit TableStore(std::string directory);
+
+    /** File path used for (@p app, @p variant). */
+    std::string pathFor(const std::string &app,
+                        const std::string &variant) const;
+
+    /**
+     * Persist @p table for (@p app, @p variant).
+     * @return empty string on success, else an error description.
+     */
+    std::string save(const std::string &app,
+                     const std::string &variant,
+                     const PredictionTable &table) const;
+
+    /**
+     * Load a previously saved table into @p out.
+     * @param found Set to true when a saved table existed.
+     * @return empty string on success (including not-found), else an
+     *         error description.
+     */
+    std::string load(const std::string &app,
+                     const std::string &variant, PredictionTable &out,
+                     bool &found) const;
+
+    /** Delete the saved table, if any. @return true when removed. */
+    bool remove(const std::string &app,
+                const std::string &variant) const;
+
+  private:
+    std::string directory_;
+};
+
+} // namespace pcap::core
+
+#endif // PCAP_CORE_TABLE_STORE_HPP

@@ -1,0 +1,63 @@
+#include "power/disk_params.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace pcap::power {
+
+double
+DiskParams::derivedBreakevenSeconds() const
+{
+    const double cycle_energy = spinUpEnergyJ + shutdownEnergyJ;
+    const double transitions =
+        usToSeconds(spinUpTime + shutdownTime);
+    // idle * T = cycleE + standby * (T - transitions)
+    // =>  T = (cycleE - standby * transitions) / (idle - standby)
+    return (cycle_energy - standbyPowerW * transitions) /
+           (idlePowerW - standbyPowerW);
+}
+
+std::string
+DiskParams::validate() const
+{
+    std::ostringstream error;
+    if (busyPowerW <= 0 || idlePowerW <= 0 || standbyPowerW < 0) {
+        error << "powers must be positive";
+        return error.str();
+    }
+    if (standbyPowerW >= idlePowerW) {
+        error << "standby power must be below idle power";
+        return error.str();
+    }
+    if (idlePowerW > busyPowerW) {
+        error << "idle power must not exceed busy power";
+        return error.str();
+    }
+    if (spinUpTime <= 0 || shutdownTime <= 0 || breakevenTime <= 0 ||
+        serviceTimePerBlock <= 0) {
+        error << "times must be positive";
+        return error.str();
+    }
+    if (lowPowerIdleW < standbyPowerW || lowPowerIdleW > idlePowerW ||
+        lowPowerExitEnergyJ < 0 || lowPowerExitTime < 0) {
+        error << "low-power idle mode must sit between standby and "
+                 "idle";
+        return error.str();
+    }
+    const double derived = derivedBreakevenSeconds();
+    const double quoted = usToSeconds(breakevenTime);
+    if (std::abs(derived - quoted) > 0.05 * quoted) {
+        error << "quoted breakeven " << quoted
+              << "s inconsistent with derived " << derived << "s";
+        return error.str();
+    }
+    return {};
+}
+
+DiskParams
+fujitsuMhf2043at()
+{
+    return DiskParams{};
+}
+
+} // namespace pcap::power

@@ -1,0 +1,65 @@
+#include "pred/adaptive_timeout.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace pcap::pred {
+
+AdaptiveTimeoutPredictor::AdaptiveTimeoutPredictor(
+    const AdaptiveTimeoutConfig &config, TimeUs start_time)
+    : config_(config), startTime_(start_time),
+      timeout_(config.initialTimeout),
+      decision_(initialConsent(start_time))
+{
+    if (config.minTimeout <= 0 ||
+        config.maxTimeout < config.minTimeout ||
+        config.initialTimeout < config.minTimeout ||
+        config.initialTimeout > config.maxTimeout) {
+        fatal("AdaptiveTimeoutPredictor: inconsistent timeout "
+              "bounds");
+    }
+    if (config.decreaseFactor <= 0.0 ||
+        config.decreaseFactor >= 1.0 ||
+        config.increaseFactor <= 1.0) {
+        fatal("AdaptiveTimeoutPredictor: factors must shrink/grow");
+    }
+}
+
+void
+AdaptiveTimeoutPredictor::adapt(TimeUs idle_period)
+{
+    if (idle_period <= previousTimeout_)
+        return; // the timer never expired: no spin-down to judge
+    const TimeUs off_time = idle_period - previousTimeout_;
+    double scaled = static_cast<double>(timeout_);
+    if (off_time >= config_.breakeven) {
+        // Correct spin-down: be more aggressive next time.
+        scaled *= config_.decreaseFactor;
+    } else {
+        // The disk was woken almost immediately: back off.
+        scaled *= config_.increaseFactor;
+    }
+    timeout_ = std::clamp(static_cast<TimeUs>(scaled),
+                          config_.minTimeout, config_.maxTimeout);
+}
+
+ShutdownDecision
+AdaptiveTimeoutPredictor::onIo(const IoContext &ctx)
+{
+    if (ctx.sincePrev >= 0)
+        adapt(ctx.sincePrev);
+    previousTimeout_ = timeout_;
+    decision_ = {ctx.time + timeout_, DecisionSource::Primary};
+    return decision_;
+}
+
+void
+AdaptiveTimeoutPredictor::resetExecution()
+{
+    timeout_ = config_.initialTimeout;
+    previousTimeout_ = 0;
+    decision_ = initialConsent(startTime_);
+}
+
+} // namespace pcap::pred

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Adaptive timeout predictor — reconstruction of the feedback
+ * policies of Douglis, Krishnan and Bershad (USENIX 1995) and
+ * Golding et al. (USENIX 1995), discussed in the paper's Section 2:
+ * "Both methods used feedback to enlarge or to reduce the timeout
+ * based on whether the previous prediction was correct. If it was
+ * correct, the timeout was reduced; otherwise, it was enlarged."
+ */
+
+#ifndef PCAP_PRED_ADAPTIVE_TIMEOUT_HPP
+#define PCAP_PRED_ADAPTIVE_TIMEOUT_HPP
+
+#include "pred/predictor.hpp"
+
+namespace pcap::pred {
+
+/** Configuration of the adaptive timeout predictor. */
+struct AdaptiveTimeoutConfig
+{
+    TimeUs initialTimeout = secondsUs(10.0);
+    TimeUs minTimeout = secondsUs(1.0);
+    TimeUs maxTimeout = secondsUs(60.0);
+    /** Multiplicative decrease after a correct spin-down. */
+    double decreaseFactor = 0.9;
+    /** Multiplicative increase after a premature spin-down. */
+    double increaseFactor = 1.6;
+    TimeUs breakeven = secondsUs(5.43);
+};
+
+/**
+ * A timeout whose value adapts by feedback. After every idle period
+ * the predictor judges its own previous decision: a spin-down whose
+ * off-time reached the breakeven was correct (shrink the timer); a
+ * spin-down followed too quickly by an access was premature (grow
+ * the timer); periods the timer never caught leave it unchanged.
+ */
+class AdaptiveTimeoutPredictor : public ShutdownPredictor
+{
+  public:
+    explicit AdaptiveTimeoutPredictor(
+        const AdaptiveTimeoutConfig &config, TimeUs start_time = 0);
+
+    ShutdownDecision onIo(const IoContext &ctx) override;
+    ShutdownDecision decision() const override { return decision_; }
+    void resetExecution() override;
+    const char *name() const override { return "ATP"; }
+
+    /** The current (adapted) timeout value. */
+    TimeUs currentTimeout() const { return timeout_; }
+
+  private:
+    void adapt(TimeUs idle_period);
+
+    AdaptiveTimeoutConfig config_;
+    TimeUs startTime_;
+    TimeUs timeout_;
+    TimeUs previousTimeout_ = 0; ///< timer active in the last gap
+    ShutdownDecision decision_;
+};
+
+} // namespace pcap::pred
+
+#endif // PCAP_PRED_ADAPTIVE_TIMEOUT_HPP

@@ -1,0 +1,47 @@
+#include "pred/busy_ratio.hpp"
+
+#include "util/logging.hpp"
+
+namespace pcap::pred {
+
+BusyRatioPredictor::BusyRatioPredictor(const BusyRatioConfig &config,
+                                       TimeUs start_time)
+    : config_(config), startTime_(start_time),
+      decision_(initialConsent(start_time))
+{
+    if (config.busyThreshold <= 0 || config.burstGap <= 0)
+        fatal("BusyRatioPredictor: thresholds must be positive");
+}
+
+ShutdownDecision
+BusyRatioPredictor::onIo(const IoContext &ctx)
+{
+    if (ctx.sincePrev < 0 || ctx.sincePrev >= config_.burstGap) {
+        // A new busy period begins with this access.
+        busyLength_ = 0;
+    } else {
+        busyLength_ += ctx.sincePrev;
+    }
+
+    if (busyLength_ <= config_.busyThreshold) {
+        // Short busy period so far: the L-shape predicts a long
+        // idle period will follow it.
+        decision_ = {ctx.time + config_.waitWindow,
+                     DecisionSource::Primary};
+    } else if (config_.backupEnabled) {
+        decision_ = {ctx.time + config_.timeout,
+                     DecisionSource::Backup};
+    } else {
+        decision_ = {kTimeNever, DecisionSource::None};
+    }
+    return decision_;
+}
+
+void
+BusyRatioPredictor::resetExecution()
+{
+    busyLength_ = 0;
+    decision_ = initialConsent(startTime_);
+}
+
+} // namespace pcap::pred

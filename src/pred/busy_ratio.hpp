@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Busy-period ("L-shape") predictor — reconstruction of Srivastava,
+ * Chandrakasan and Brodersen's regression policy (IEEE TVLSI 1996),
+ * discussed in the paper's Section 2: "the length of an idle period
+ * could be predicted by the length of the previous busy period. A
+ * long idle period often followed a short busy period."
+ */
+
+#ifndef PCAP_PRED_BUSY_RATIO_HPP
+#define PCAP_PRED_BUSY_RATIO_HPP
+
+#include "pred/predictor.hpp"
+
+namespace pcap::pred {
+
+/** Configuration of the busy-period predictor. */
+struct BusyRatioConfig
+{
+    /** A busy period at most this long predicts a long idle period
+     * (the vertical arm of the L-shaped scatter plot). */
+    TimeUs busyThreshold = secondsUs(2.0);
+
+    /** Accesses closer than this belong to the same busy period. */
+    TimeUs burstGap = secondsUs(1.0);
+
+    TimeUs waitWindow = secondsUs(1.0);
+    TimeUs timeout = secondsUs(10.0); ///< backup timer
+    bool backupEnabled = true;
+};
+
+/**
+ * Tracks the current busy period (a run of accesses separated by
+ * less than burstGap) and, after every access, consents to an
+ * immediate shutdown when the busy period so far is still short —
+ * the "short busy, long idle" correlation. Long busy periods defer
+ * to the backup timeout.
+ */
+class BusyRatioPredictor : public ShutdownPredictor
+{
+  public:
+    explicit BusyRatioPredictor(const BusyRatioConfig &config,
+                                TimeUs start_time = 0);
+
+    ShutdownDecision onIo(const IoContext &ctx) override;
+    ShutdownDecision decision() const override { return decision_; }
+    void resetExecution() override;
+    const char *name() const override { return "SB"; }
+
+    /** Length of the current busy period (testing hook). */
+    TimeUs currentBusyLength() const { return busyLength_; }
+
+  private:
+    BusyRatioConfig config_;
+    TimeUs startTime_;
+    TimeUs busyLength_ = 0;
+    ShutdownDecision decision_;
+};
+
+} // namespace pcap::pred
+
+#endif // PCAP_PRED_BUSY_RATIO_HPP

@@ -1,0 +1,47 @@
+#include "pred/exp_average.hpp"
+
+#include "util/logging.hpp"
+
+namespace pcap::pred {
+
+ExpAveragePredictor::ExpAveragePredictor(
+    const ExpAverageConfig &config, TimeUs start_time)
+    : config_(config), startTime_(start_time),
+      decision_(initialConsent(start_time))
+{
+    if (config.alpha < 0.0 || config.alpha > 1.0)
+        fatal("ExpAveragePredictor: alpha must be in [0, 1]");
+}
+
+ShutdownDecision
+ExpAveragePredictor::onIo(const IoContext &ctx)
+{
+    // Fold the just-completed idle period into the estimate; periods
+    // below the wait-window are filtered at run time.
+    if (ctx.sincePrev >= config_.waitWindow) {
+        predictedIdle_ = static_cast<TimeUs>(
+            config_.alpha * static_cast<double>(ctx.sincePrev) +
+            (1.0 - config_.alpha) *
+                static_cast<double>(predictedIdle_));
+    }
+
+    if (predictedIdle_ > config_.breakeven) {
+        decision_ = {ctx.time + config_.waitWindow,
+                     DecisionSource::Primary};
+    } else if (config_.backupEnabled) {
+        decision_ = {ctx.time + config_.timeout,
+                     DecisionSource::Backup};
+    } else {
+        decision_ = {kTimeNever, DecisionSource::None};
+    }
+    return decision_;
+}
+
+void
+ExpAveragePredictor::resetExecution()
+{
+    predictedIdle_ = 0;
+    decision_ = initialConsent(startTime_);
+}
+
+} // namespace pcap::pred

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Exponential-average idle-period predictor — reconstruction of
+ * Hwang and Wu's predictive system shutdown (ACM TODAES 2000),
+ * discussed in the paper's Section 2: "the length of an idle period
+ * could be predicted using a weighted average of the predicted and
+ * the actual lengths of the previous idle period".
+ */
+
+#ifndef PCAP_PRED_EXP_AVERAGE_HPP
+#define PCAP_PRED_EXP_AVERAGE_HPP
+
+#include "pred/predictor.hpp"
+
+namespace pcap::pred {
+
+/** Configuration of the exponential-average predictor. */
+struct ExpAverageConfig
+{
+    /** Weight of the last *actual* idle length; the remainder goes
+     * to the previous prediction. Hwang and Wu use 0.5. */
+    double alpha = 0.5;
+
+    TimeUs waitWindow = secondsUs(1.0); ///< shared filter (§4.1.1)
+    TimeUs timeout = secondsUs(10.0);   ///< backup timer
+    TimeUs breakeven = secondsUs(5.43);
+    bool backupEnabled = true;
+};
+
+/**
+ * Predicts the next idle period as
+ *   I[n+1] = alpha * actual[n] + (1 - alpha) * I[n]
+ * and consents to an immediate (post-wait-window) shutdown whenever
+ * the prediction exceeds the breakeven time. Periods below the
+ * wait-window are filtered like in every other dynamic predictor of
+ * the evaluation.
+ */
+class ExpAveragePredictor : public ShutdownPredictor
+{
+  public:
+    explicit ExpAveragePredictor(const ExpAverageConfig &config,
+                                 TimeUs start_time = 0);
+
+    ShutdownDecision onIo(const IoContext &ctx) override;
+    ShutdownDecision decision() const override { return decision_; }
+    void resetExecution() override;
+    const char *name() const override { return "EA"; }
+
+    /** Current idle-length estimate (testing hook). */
+    TimeUs predictedIdle() const { return predictedIdle_; }
+
+  private:
+    ExpAverageConfig config_;
+    TimeUs startTime_;
+    TimeUs predictedIdle_ = 0;
+    ShutdownDecision decision_;
+};
+
+} // namespace pcap::pred
+
+#endif // PCAP_PRED_EXP_AVERAGE_HPP

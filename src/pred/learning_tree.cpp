@@ -1,0 +1,105 @@
+#include "pred/learning_tree.hpp"
+
+#include "util/logging.hpp"
+
+namespace pcap::pred {
+
+LtTree::LtTree(const LtConfig &config)
+    : config_(config)
+{
+    if (config.historyLength < 1 || config.historyLength > 16)
+        fatal("LtTree: history length must be in [1, 16]");
+}
+
+std::uint32_t
+LtTree::key(std::uint32_t bits, int len)
+{
+    const std::uint32_t mask = (1u << len) - 1;
+    return (static_cast<std::uint32_t>(len) << 16) | (bits & mask);
+}
+
+void
+LtTree::train(std::uint32_t bits, int len, bool long_idle)
+{
+    const int limit = len < config_.historyLength
+                          ? len
+                          : config_.historyLength;
+    for (int suffix = 1; suffix <= limit; ++suffix) {
+        auto [it, inserted] = nodes_.try_emplace(
+            key(bits, suffix), Node{SaturatingCounter(
+                                        config_.counterMax),
+                                    0});
+        Node &node = it->second;
+        if (long_idle)
+            node.longConfidence.increment();
+        else
+            node.longConfidence.decrement();
+        ++node.updates;
+    }
+}
+
+std::optional<bool>
+LtTree::predict(std::uint32_t bits, int len) const
+{
+    const int limit = len < config_.historyLength
+                          ? len
+                          : config_.historyLength;
+    for (int suffix = limit; suffix >= 1; --suffix) {
+        auto it = nodes_.find(key(bits, suffix));
+        if (it != nodes_.end() &&
+            it->second.updates >= config_.minTrainings) {
+            return it->second.longConfidence.isConfident();
+        }
+    }
+    return std::nullopt;
+}
+
+LtPredictor::LtPredictor(const LtConfig &config,
+                         std::shared_ptr<LtTree> tree,
+                         TimeUs start_time)
+    : config_(config), tree_(std::move(tree)), startTime_(start_time),
+      decision_(initialConsent(start_time))
+{
+    if (!tree_)
+        fatal("LtPredictor: tree must not be null");
+}
+
+ShutdownDecision
+LtPredictor::onIo(const IoContext &ctx)
+{
+    // A completed idle period at least as long as the wait-window is
+    // an observation; shorter gaps are filtered at run time
+    // (Section 4.1.1) and never reach the tree.
+    if (ctx.sincePrev >= config_.waitWindow) {
+        const bool long_idle = ctx.sincePrev > config_.breakeven;
+        tree_->train(historyBits_, historyLen_, long_idle);
+        historyBits_ = (historyBits_ << 1) |
+                       (long_idle ? 1u : 0u);
+        if (historyLen_ < config_.historyLength)
+            ++historyLen_;
+    }
+
+    const std::optional<bool> predicted_long =
+        tree_->predict(historyBits_, historyLen_);
+
+    if (predicted_long.value_or(false)) {
+        decision_ = {ctx.time + config_.waitWindow,
+                     DecisionSource::Primary};
+    } else if (config_.backupEnabled) {
+        decision_ = {ctx.time + config_.timeout,
+                     DecisionSource::Backup};
+    } else {
+        decision_ = {kTimeNever, DecisionSource::None};
+    }
+    return decision_;
+}
+
+void
+LtPredictor::resetExecution()
+{
+    historyBits_ = 0;
+    historyLen_ = 0;
+    decision_ = initialConsent(startTime_);
+}
+
+} // namespace pcap::pred

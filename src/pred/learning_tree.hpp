@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Learning Tree (LT) predictor — reconstruction of the adaptive
+ * learning tree of Chung, Benini and De Micheli (ICCAD 1999), the
+ * strongest prior dynamic predictor the paper compares against.
+ *
+ * Idle periods are discretized into classes (the paper's evaluation
+ * uses two: shorter vs longer than the breakeven time, Figure 2). The
+ * tree stores, for every recently-seen sequence of idle classes, a
+ * saturating confidence counter for "the next idle period will be
+ * long". On each I/O the predictor walks the tree along the current
+ * history — longest matching suffix first, falling back to shorter
+ * ones, which is the "adaptive" part — and predicts a shutdown when
+ * the matched node is confident. The paper runs LT with a history
+ * length of eight, a one-second sliding wait-window, and the timeout
+ * predictor as a backup during training (Section 6.1).
+ */
+
+#ifndef PCAP_PRED_LEARNING_TREE_HPP
+#define PCAP_PRED_LEARNING_TREE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "pred/predictor.hpp"
+#include "util/counter.hpp"
+
+namespace pcap::pred {
+
+/** Configuration of the Learning Tree predictor. */
+struct LtConfig
+{
+    int historyLength = 8;           ///< paper Section 6.1
+    TimeUs waitWindow = secondsUs(1.0);
+    TimeUs timeout = secondsUs(10.0); ///< backup timer
+    TimeUs breakeven = secondsUs(5.43);
+    bool backupEnabled = true;
+    std::uint8_t counterMax = 3;     ///< confidence counter range
+    std::uint32_t minTrainings = 2;  ///< updates before a node is
+                                     ///< trusted
+};
+
+/**
+ * The tree itself: shared by all processes of one application and —
+ * with table reuse, Section 4.2 — by all executions of it. Nodes are
+ * keyed by (suffix length, packed class bits), which is exactly a
+ * path from the root of a binary tree of depth historyLength.
+ */
+class LtTree
+{
+  public:
+    explicit LtTree(const LtConfig &config);
+
+    /**
+     * Record that history @p bits (length @p len, most recent class
+     * in bit 0) was followed by an idle period of class @p long_idle.
+     * Updates every suffix node along the tree path.
+     */
+    void train(std::uint32_t bits, int len, bool long_idle);
+
+    /**
+     * Predict the class of the next idle period for the given
+     * history, using the longest trained suffix.
+     * @return nullopt while untrained (backup takes over).
+     */
+    std::optional<bool> predict(std::uint32_t bits, int len) const;
+
+    /** Number of tree nodes currently allocated. */
+    std::size_t size() const { return nodes_.size(); }
+
+    /** Forget everything (LTa: tables discarded between runs). */
+    void clear() { nodes_.clear(); }
+
+  private:
+    struct Node
+    {
+        SaturatingCounter longConfidence;
+        std::uint32_t updates = 0;
+    };
+
+    static std::uint32_t key(std::uint32_t bits, int len);
+
+    LtConfig config_;
+    std::unordered_map<std::uint32_t, Node> nodes_;
+};
+
+/**
+ * Per-process LT predictor: keeps the process's idle-class history
+ * and consults the shared tree.
+ */
+class LtPredictor : public ShutdownPredictor
+{
+  public:
+    /**
+     * @param config Predictor parameters.
+     * @param tree Shared tree (one per application).
+     * @param start_time Process start, for the initial consent.
+     */
+    LtPredictor(const LtConfig &config, std::shared_ptr<LtTree> tree,
+                TimeUs start_time = 0);
+
+    ShutdownDecision onIo(const IoContext &ctx) override;
+    ShutdownDecision decision() const override { return decision_; }
+    void resetExecution() override;
+    const char *name() const override { return "LT"; }
+
+    /** Packed history bits (testing hook). */
+    std::uint32_t historyBits() const { return historyBits_; }
+
+    /** Number of classes currently in the history. */
+    int historyLength() const { return historyLen_; }
+
+  private:
+    LtConfig config_;
+    std::shared_ptr<LtTree> tree_;
+    TimeUs startTime_;
+    std::uint32_t historyBits_ = 0;
+    int historyLen_ = 0;
+    ShutdownDecision decision_;
+};
+
+} // namespace pcap::pred
+
+#endif // PCAP_PRED_LEARNING_TREE_HPP

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Predictor framework shared by the baselines (timeout, Learning
+ * Tree) and PCAP.
+ *
+ * Every local predictor observes the disk accesses of one process and
+ * maintains a *standing decision*: the earliest future time at which
+ * it consents to spinning the disk down, plus where that consent came
+ * from (the primary predictor or the backup timeout). This single
+ * abstraction expresses all the mechanisms of the paper:
+ *
+ *  - the timeout predictor returns lastIo + timeout;
+ *  - a primary predictor that predicts a long idle period returns
+ *    lastIo + waitWindow — the sliding wait-window filter of Section
+ *    4.1.1 falls out naturally, because any access arriving inside
+ *    the window supersedes the decision before it fires;
+ *  - a primary predictor in training defers to the backup timeout
+ *    (Section 4.3), returning lastIo + timeout with Backup source;
+ *  - the global predictor of Section 5 is the maximum of the standing
+ *    decisions over all live processes.
+ */
+
+#ifndef PCAP_PRED_PREDICTOR_HPP
+#define PCAP_PRED_PREDICTOR_HPP
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace pcap::pred {
+
+/** Which mechanism produced a shutdown decision. */
+enum class DecisionSource : std::uint8_t {
+    None,    ///< no mechanism consents (e.g. backup disabled)
+    Primary, ///< the primary predictor (LT pattern / PCAP signature)
+    Backup,  ///< the backup timeout
+};
+
+/** Human-readable source name. */
+const char *decisionSourceName(DecisionSource source);
+
+/**
+ * A standing shutdown decision: the disk may be spun down at any time
+ * >= earliest, unless a newer access supersedes this decision first.
+ */
+struct ShutdownDecision
+{
+    TimeUs earliest = kTimeNever;
+    DecisionSource source = DecisionSource::None;
+
+    bool operator==(const ShutdownDecision &o) const = default;
+};
+
+/**
+ * What a local predictor sees about one disk access of its process.
+ */
+struct IoContext
+{
+    TimeUs time = 0;  ///< arrival time of the access
+    /**
+     * Idle time since this process's previous disk access, or -1 for
+     * the first access of the process. The caller (simulator or
+     * online power manager) computes this, so predictors never keep
+     * their own clocks.
+     */
+    TimeUs sincePrev = -1;
+    Address pc = 0;   ///< call site that triggered the access
+    Fd fd = -1;       ///< file descriptor of the triggering I/O
+    FileId file = 0;  ///< file accessed
+    bool isWrite = false;
+};
+
+/**
+ * Interface of a per-process shutdown predictor.
+ */
+class ShutdownPredictor
+{
+  public:
+    virtual ~ShutdownPredictor() = default;
+
+    /**
+     * Observe one disk access of the owning process and return the
+     * new standing decision. Implementations train on ctx.sincePrev
+     * (the just-completed idle period) before predicting.
+     */
+    virtual ShutdownDecision onIo(const IoContext &ctx) = 0;
+
+    /** The current standing decision (as returned by the last onIo,
+     * or the initial consent-from-start before any I/O). */
+    virtual ShutdownDecision decision() const = 0;
+
+    /**
+     * Start a new execution of the application: clear per-execution
+     * state (paths, histories, last-access times). Learned state
+     * (prediction tables, trees) survives — table reuse, Section 4.2.
+     */
+    virtual void resetExecution() = 0;
+
+    /** Short name for reports ("TP", "LT", "PCAP", ...). */
+    virtual const char *name() const = 0;
+};
+
+/**
+ * Decision a process holds before it performs any I/O: it consents to
+ * shutdown from its start time (an I/O-less process never keeps the
+ * disk spinning).
+ */
+inline ShutdownDecision
+initialConsent(TimeUs start_time)
+{
+    return {start_time, DecisionSource::None};
+}
+
+} // namespace pcap::pred
+
+#endif // PCAP_PRED_PREDICTOR_HPP

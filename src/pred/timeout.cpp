@@ -1,0 +1,41 @@
+#include "pred/timeout.hpp"
+
+#include "util/logging.hpp"
+
+namespace pcap::pred {
+
+const char *
+decisionSourceName(DecisionSource source)
+{
+    switch (source) {
+      case DecisionSource::None: return "none";
+      case DecisionSource::Primary: return "primary";
+      case DecisionSource::Backup: return "backup";
+    }
+    return "unknown";
+}
+
+TimeoutPredictor::TimeoutPredictor(TimeUs timeout, TimeUs start_time)
+    : timeout_(timeout), startTime_(start_time),
+      decision_(initialConsent(start_time))
+{
+    if (timeout <= 0)
+        fatal("TimeoutPredictor: timeout must be positive");
+}
+
+ShutdownDecision
+TimeoutPredictor::onIo(const IoContext &ctx)
+{
+    // For the standalone TP the timer itself is the primary
+    // mechanism.
+    decision_ = {ctx.time + timeout_, DecisionSource::Primary};
+    return decision_;
+}
+
+void
+TimeoutPredictor::resetExecution()
+{
+    decision_ = initialConsent(startTime_);
+}
+
+} // namespace pcap::pred

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The timeout predictor (TP): the classic policy implemented by
+ * operating systems since the early 1990s. After every access it
+ * consents to a shutdown once a fixed timer expires.
+ */
+
+#ifndef PCAP_PRED_TIMEOUT_HPP
+#define PCAP_PRED_TIMEOUT_HPP
+
+#include "pred/predictor.hpp"
+
+namespace pcap::pred {
+
+/**
+ * Timeout predictor. The paper's evaluation uses a 10-second timer
+ * (Section 6.1) and also examines setting the timer to the breakeven
+ * time (Section 6.3). The same class serves as the backup predictor
+ * embedded in LT and PCAP.
+ */
+class TimeoutPredictor : public ShutdownPredictor
+{
+  public:
+    /**
+     * @param timeout Idle time after which the disk is spun down.
+     * @param start_time When the owning process came to life, for
+     *        the initial consent-from-start decision.
+     */
+    explicit TimeoutPredictor(TimeUs timeout, TimeUs start_time = 0);
+
+    ShutdownDecision onIo(const IoContext &ctx) override;
+    ShutdownDecision decision() const override { return decision_; }
+    void resetExecution() override;
+    const char *name() const override { return "TP"; }
+
+    /** The configured timeout. */
+    TimeUs timeout() const { return timeout_; }
+
+  private:
+    TimeUs timeout_;
+    TimeUs startTime_;
+    ShutdownDecision decision_;
+};
+
+} // namespace pcap::pred
+
+#endif // PCAP_PRED_TIMEOUT_HPP

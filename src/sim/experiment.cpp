@@ -1,0 +1,103 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "workload/app_model.hpp"
+
+namespace pcap::sim {
+
+Evaluation::Evaluation(ExperimentConfig config)
+    : config_(std::move(config)),
+      appNames_(workload::standardAppNames())
+{
+}
+
+const std::vector<ExecutionInput> &
+Evaluation::inputs(const std::string &app)
+{
+    auto it = inputs_.find(app);
+    if (it != inputs_.end())
+        return it->second;
+
+    const auto model = workload::makeApp(app);
+    if (!model)
+        fatal("Evaluation: unknown application '" + app + "'");
+
+    int executions = model->info().executions;
+    if (config_.maxExecutions > 0)
+        executions = std::min(executions, config_.maxExecutions);
+
+    std::vector<ExecutionInput> result;
+    result.reserve(executions);
+    Rng app_rng(config_.seed ^ hashString(app));
+    for (int execution = 0; execution < executions; ++execution) {
+        const trace::Trace trace = model->generate(
+            execution,
+            app_rng.fork(static_cast<std::uint64_t>(execution)));
+        result.push_back(
+            ExecutionInput::fromTrace(trace, config_.cache));
+    }
+    return inputs_.emplace(app, std::move(result)).first->second;
+}
+
+Evaluation::Table1Row
+Evaluation::table1(const std::string &app)
+{
+    const auto &execs = inputs(app);
+    Table1Row row;
+    row.executions = static_cast<int>(execs.size());
+    for (const auto &input : execs) {
+        row.globalIdlePeriods +=
+            input.countGlobalOpportunities(config_.sim.breakeven());
+        row.localIdlePeriods +=
+            input.countLocalOpportunities(config_.sim.breakeven());
+        row.totalIos += input.tracedIos;
+    }
+    return row;
+}
+
+AccuracyStats
+Evaluation::localAccuracy(const std::string &app,
+                          const PolicyConfig &policy)
+{
+    PolicySession session(policy);
+    return runLocal(inputs(app), session, config_.sim);
+}
+
+Evaluation::GlobalOutcome
+Evaluation::globalRun(const std::string &app,
+                      const PolicyConfig &policy)
+{
+    PolicySession session(policy);
+    GlobalOutcome outcome;
+    outcome.run = runGlobal(inputs(app), session, config_.sim);
+    outcome.tableEntries = session.tableEntries();
+    return outcome;
+}
+
+const RunResult &
+Evaluation::baseRun(const std::string &app)
+{
+    auto it = baseRuns_.find(app);
+    if (it == baseRuns_.end()) {
+        it = baseRuns_
+                 .emplace(app, runBase(inputs(app), config_.sim))
+                 .first;
+    }
+    return it->second;
+}
+
+const RunResult &
+Evaluation::idealRun(const std::string &app)
+{
+    auto it = idealRuns_.find(app);
+    if (it == idealRuns_.end()) {
+        it = idealRuns_
+                 .emplace(app, runIdeal(inputs(app), config_.sim))
+                 .first;
+    }
+    return it->second;
+}
+
+} // namespace pcap::sim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Experiment driver: ties the workload models, the file cache and
+ * the simulator together, so every bench binary and integration test
+ * asks one object for the paper's numbers.
+ */
+
+#ifndef PCAP_SIM_EXPERIMENT_HPP
+#define PCAP_SIM_EXPERIMENT_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/input.hpp"
+#include "sim/policy.hpp"
+#include "sim/simulator.hpp"
+
+namespace pcap::sim {
+
+/** Configuration of a whole evaluation. */
+struct ExperimentConfig
+{
+    std::uint64_t seed = 42;     ///< workload master seed
+    cache::CacheParams cache;    ///< paper defaults (256 KB, 30 s)
+    SimParams sim;               ///< Fujitsu MHF 2043AT disk
+
+    /**
+     * When positive, cap each application at this many executions
+     * (fast integration tests); 0 runs the paper's Table 1 counts.
+     */
+    int maxExecutions = 0;
+};
+
+/**
+ * Lazily generates, caches and evaluates the workload. Inputs are
+ * deterministic functions of the config seed, so every bench binary
+ * reproduces identical numbers.
+ */
+class Evaluation
+{
+  public:
+    explicit Evaluation(ExperimentConfig config = {});
+
+    /** The configuration in use. */
+    const ExperimentConfig &config() const { return config_; }
+
+    /** The six application names of Table 1. */
+    const std::vector<std::string> &appNames() const
+    {
+        return appNames_;
+    }
+
+    /** Post-cache inputs of every execution of @p app (cached). */
+    const std::vector<ExecutionInput> &inputs(const std::string &app);
+
+    /** One row of Table 1. */
+    struct Table1Row
+    {
+        int executions = 0;
+        std::uint64_t globalIdlePeriods = 0;
+        std::uint64_t localIdlePeriods = 0;
+        std::uint64_t totalIos = 0;
+    };
+
+    /** Compute Table 1 for @p app from the generated workload. */
+    Table1Row table1(const std::string &app);
+
+    /** Figure 6: local accuracy of @p policy on @p app. */
+    AccuracyStats localAccuracy(const std::string &app,
+                                const PolicyConfig &policy);
+
+    /** Result of a global run plus the learned-state size. */
+    struct GlobalOutcome
+    {
+        RunResult run;
+        std::size_t tableEntries = 0; ///< Table 3
+    };
+
+    /** Figures 7-10: global run of @p policy on @p app. */
+    GlobalOutcome globalRun(const std::string &app,
+                            const PolicyConfig &policy);
+
+    /** Figure 8 "Base": no power management (cached). */
+    const RunResult &baseRun(const std::string &app);
+
+    /** Figure 8 "Ideal": the oracle (cached). */
+    const RunResult &idealRun(const std::string &app);
+
+  private:
+    ExperimentConfig config_;
+    std::vector<std::string> appNames_;
+    std::map<std::string, std::vector<ExecutionInput>> inputs_;
+    std::map<std::string, RunResult> baseRuns_;
+    std::map<std::string, RunResult> idealRuns_;
+};
+
+} // namespace pcap::sim
+
+#endif // PCAP_SIM_EXPERIMENT_HPP

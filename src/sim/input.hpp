@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Simulator input: one execution of one application after the
+ * file-cache filter — the disk access stream, the process lifetimes
+ * (from the traced fork/exit events) and the pdflush pseudo-process.
+ */
+
+#ifndef PCAP_SIM_INPUT_HPP
+#define PCAP_SIM_INPUT_HPP
+
+#include <string>
+#include <vector>
+
+#include "cache/file_cache.hpp"
+#include "trace/event.hpp"
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace pcap::sim {
+
+/** Lifetime of one process within an execution. */
+struct ProcessSpan
+{
+    Pid pid = 0;
+    TimeUs start = 0;
+    TimeUs end = 0;
+};
+
+/**
+ * Everything the simulator needs about one execution: the post-cache
+ * disk access stream (time-sorted), the process spans — including
+ * the flush daemon, which lives for the whole execution — and trace
+ * metadata.
+ */
+struct ExecutionInput
+{
+    std::string app;
+    int execution = 0;
+    std::vector<trace::DiskAccess> accesses;
+    std::vector<ProcessSpan> processes;
+    TimeUs endTime = 0;
+    std::uint64_t tracedIos = 0;    ///< pre-cache I/O count (Table 1)
+    cache::CacheStats cacheStats;
+
+    /**
+     * Build from a validated trace: filter through a cold file cache
+     * and extract the process spans. panic()s on an invalid trace —
+     * workload models must produce structurally valid ones.
+     */
+    static ExecutionInput fromTrace(const trace::Trace &trace,
+                                    const cache::CacheParams &params);
+
+    /** Accesses of one process, preserving time order. */
+    std::vector<trace::DiskAccess> accessesOf(Pid pid) const;
+
+    /** Span of one process; panics when the pid is unknown. */
+    const ProcessSpan &spanOf(Pid pid) const;
+
+    /**
+     * Idle periods longer than @p breakeven on the merged stream,
+     * including the trailing period to endTime — Table 1's "Global"
+     * idle-period count for this execution.
+     */
+    std::uint64_t countGlobalOpportunities(TimeUs breakeven) const;
+
+    /**
+     * Sum over all predicting processes — the application's and the
+     * flush daemon — of their idle periods longer than
+     * @p breakeven, including each process's trailing period to its
+     * exit: Table 1's "Local" count. The flush daemon counts
+     * because it runs a local predictor like any process; this also
+     * preserves Table 1's local >= global invariant, since the
+     * daemon's accesses split global periods.
+     */
+    std::uint64_t countLocalOpportunities(TimeUs breakeven) const;
+};
+
+} // namespace pcap::sim
+
+#endif // PCAP_SIM_INPUT_HPP

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The trace simulator (Section 6): replays post-cache disk access
+ * streams against a power-management policy, classifies every idle
+ * period (hit / miss / not-predicted) and accounts energy by driving
+ * the power-managed disk model.
+ *
+ * Two evaluation modes match the paper's two accuracy figures:
+ *
+ *  - runLocal(): every process's stream is judged by its own local
+ *    predictor in isolation, normalized to per-process idle periods
+ *    (Figure 6);
+ *  - runGlobal(): the full multiprocess simulation — the Global
+ *    Shutdown Predictor combines the per-process decisions, fork and
+ *    exit events add and remove constraints mid-gap, and the disk
+ *    model accumulates the energy breakdown (Figures 7 and 8).
+ *
+ * runBase() and runIdeal() provide the two energy bounds of
+ * Figure 8.
+ */
+
+#ifndef PCAP_SIM_SIMULATOR_HPP
+#define PCAP_SIM_SIMULATOR_HPP
+
+#include <vector>
+
+#include "power/disk.hpp"
+#include "sim/input.hpp"
+#include "sim/policy.hpp"
+#include "sim/stats.hpp"
+
+namespace pcap::sim {
+
+/** Parameters shared by every simulation run. */
+struct SimParams
+{
+    power::DiskParams disk;
+
+    /** The breakeven time used for idle-period classification. */
+    TimeUs breakeven() const { return disk.breakevenTime; }
+};
+
+/** Outcome of one policy over a set of executions. */
+struct RunResult
+{
+    AccuracyStats accuracy;
+    power::EnergyLedger energy;
+    std::uint64_t shutdowns = 0;   ///< spin-downs actually performed
+    std::uint64_t spinUps = 0;     ///< on-demand spin-ups
+    std::uint64_t ignoredShutdowns = 0; ///< orders the disk refused
+    TimeUs totalSpinUpDelay = 0;   ///< latency added by spin-ups
+
+    /** Fold another run (e.g. another execution) into this one. */
+    void merge(const RunResult &other);
+};
+
+/**
+ * Local-predictor evaluation (Figure 6): per-process streams, fresh
+ * local predictors each execution, shared learned state via
+ * @p session. The flush daemon participates like any process — it
+ * runs a local predictor of its own in the global scheme.
+ */
+AccuracyStats runLocal(const std::vector<ExecutionInput> &executions,
+                       PolicySession &session,
+                       const SimParams &params);
+
+/**
+ * Full multiprocess simulation with the Global Shutdown Predictor
+ * (Figures 7-10): accuracy on global idle periods plus the energy
+ * ledger from the disk model.
+ */
+RunResult runGlobal(const std::vector<ExecutionInput> &executions,
+                    PolicySession &session, const SimParams &params);
+
+/**
+ * Extension (the paper's Section 7 future work): like runGlobal(),
+ * but on a primary prediction the disk drops into the low-power
+ * idle mode the moment it goes idle, and only fully spins down once
+ * the wait-window elapses. Mispredictions then cost a cheap
+ * head-load instead of a full spin-up.
+ */
+RunResult
+runGlobalMultiState(const std::vector<ExecutionInput> &executions,
+                    PolicySession &session, const SimParams &params);
+
+/** No power management: the disk never spins down (Figure 8 "Base"). */
+RunResult runBase(const std::vector<ExecutionInput> &executions,
+                  const SimParams &params);
+
+/**
+ * Oracle with future knowledge: spins down at the start of exactly
+ * the idle periods long enough to pay off (Figure 8 "Ideal").
+ */
+RunResult runIdeal(const std::vector<ExecutionInput> &executions,
+                   const SimParams &params);
+
+} // namespace pcap::sim
+
+#endif // PCAP_SIM_SIMULATOR_HPP

@@ -1,0 +1,34 @@
+#include "sim/stats.hpp"
+
+namespace pcap::sim {
+
+void
+AccuracyStats::merge(const AccuracyStats &other)
+{
+    opportunities += other.opportunities;
+    hitPrimary += other.hitPrimary;
+    hitBackup += other.hitBackup;
+    missPrimary += other.missPrimary;
+    missBackup += other.missBackup;
+    notPredicted += other.notPredicted;
+}
+
+void
+AccuracyStats::recordHit(pred::DecisionSource source)
+{
+    if (source == pred::DecisionSource::Primary)
+        ++hitPrimary;
+    else
+        ++hitBackup;
+}
+
+void
+AccuracyStats::recordMiss(pred::DecisionSource source)
+{
+    if (source == pred::DecisionSource::Primary)
+        ++missPrimary;
+    else
+        ++missBackup;
+}
+
+} // namespace pcap::sim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Statistics the trace simulator collects: the hit / miss /
+ * not-predicted taxonomy of Figures 6, 7, 9 and 10, split by the
+ * primary-vs-backup source of each shutdown.
+ */
+
+#ifndef PCAP_SIM_STATS_HPP
+#define PCAP_SIM_STATS_HPP
+
+#include <cstdint>
+
+#include "pred/predictor.hpp"
+#include "util/types.hpp"
+
+namespace pcap::sim {
+
+/**
+ * Shutdown-prediction accuracy over a set of idle periods.
+ *
+ * An *opportunity* is an idle period longer than the breakeven time
+ * (the "Num. of idle periods" of Table 1). A shutdown whose
+ * device-off time reaches the breakeven time is a *hit*; a shutdown
+ * that leaves the disk off for less than the breakeven time costs
+ * more energy than it saves and is a *miss* — whether it happened
+ * inside a short gap (the dynamic-predictor failure mode) or too
+ * late in a long one (the timeout failure mode). An opportunity with
+ * no shutdown at all is *not predicted*. All fractions are
+ * normalized to the opportunity count, exactly like the figures in
+ * the paper (so the stacked fractions may exceed 100%: misses in
+ * short gaps are "additional shutdowns ... normalized to the number
+ * of idle periods for direct comparison", Section 6.1).
+ */
+struct AccuracyStats
+{
+    std::uint64_t opportunities = 0;
+    std::uint64_t hitPrimary = 0;
+    std::uint64_t hitBackup = 0;
+    std::uint64_t missPrimary = 0;
+    std::uint64_t missBackup = 0;
+    std::uint64_t notPredicted = 0;
+
+    /** All correctly predicted shutdowns. */
+    std::uint64_t hits() const { return hitPrimary + hitBackup; }
+
+    /** All mispredicted shutdowns. */
+    std::uint64_t misses() const { return missPrimary + missBackup; }
+
+    /** Coverage: hits / opportunities (0 when no opportunities). */
+    double hitFraction() const { return ratio(hits()); }
+
+    /** Mispredicted shutdowns / opportunities. */
+    double missFraction() const { return ratio(misses()); }
+
+    /** Unexploited opportunities / opportunities. */
+    double notPredictedFraction() const { return ratio(notPredicted); }
+
+    /** hits-by-primary / opportunities. */
+    double hitPrimaryFraction() const { return ratio(hitPrimary); }
+
+    /** hits-by-backup / opportunities. */
+    double hitBackupFraction() const { return ratio(hitBackup); }
+
+    /** misses-by-primary / opportunities. */
+    double missPrimaryFraction() const { return ratio(missPrimary); }
+
+    /** misses-by-backup / opportunities. */
+    double missBackupFraction() const { return ratio(missBackup); }
+
+    /** Fold another tally into this one. */
+    void merge(const AccuracyStats &other);
+
+    /** Record one classified idle period. */
+    void recordHit(pred::DecisionSource source);
+    void recordMiss(pred::DecisionSource source);
+
+  private:
+    double
+    ratio(std::uint64_t count) const
+    {
+        return opportunities
+                   ? static_cast<double>(count) /
+                         static_cast<double>(opportunities)
+                   : 0.0;
+    }
+};
+
+} // namespace pcap::sim
+
+#endif // PCAP_SIM_STATS_HPP

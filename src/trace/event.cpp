@@ -1,0 +1,56 @@
+#include "trace/event.hpp"
+
+#include <tuple>
+
+namespace pcap::trace {
+
+const char *
+eventTypeName(EventType type)
+{
+    switch (type) {
+      case EventType::Read: return "read";
+      case EventType::Write: return "write";
+      case EventType::Open: return "open";
+      case EventType::Close: return "close";
+      case EventType::Fork: return "fork";
+      case EventType::Exit: return "exit";
+    }
+    return "unknown";
+}
+
+bool
+parseEventType(const std::string &name, EventType &out)
+{
+    if (name == "read") {
+        out = EventType::Read;
+    } else if (name == "write") {
+        out = EventType::Write;
+    } else if (name == "open") {
+        out = EventType::Open;
+    } else if (name == "close") {
+        out = EventType::Close;
+    } else if (name == "fork") {
+        out = EventType::Fork;
+    } else if (name == "exit") {
+        out = EventType::Exit;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
+isIoEvent(EventType type)
+{
+    return type == EventType::Read || type == EventType::Write ||
+           type == EventType::Open;
+}
+
+bool
+TraceEvent::operator<(const TraceEvent &other) const
+{
+    return std::tie(time, pid, type) <
+           std::tie(other.time, other.pid, other.type);
+}
+
+} // namespace pcap::trace

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The trace record schema.
+ *
+ * The paper collected traces with a modified strace that recorded, for
+ * every I/O operation: the application program counter that invoked
+ * it, the access type, the time, the file descriptor and the file
+ * location on disk, plus fork and exit times of the processes inside
+ * each application (Section 6). TraceEvent carries exactly those
+ * fields; DiskAccess is the corresponding record after the file-cache
+ * filter, i.e. an operation that actually reaches the disk.
+ */
+
+#ifndef PCAP_TRACE_EVENT_HPP
+#define PCAP_TRACE_EVENT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace pcap::trace {
+
+/** Kind of traced event. */
+enum class EventType : std::uint8_t {
+    Read,  ///< read() — may be satisfied by the file cache
+    Write, ///< write() — dirties the cache, flushed later
+    Open,  ///< open() — touches file metadata on disk
+    Close, ///< close() — cache-only bookkeeping
+    Fork,  ///< a new process joins the application
+    Exit,  ///< a process leaves the application
+};
+
+/** Human-readable name of an event type ("read", "fork", ...). */
+const char *eventTypeName(EventType type);
+
+/** Parse an event-type name; returns false on unknown names. */
+bool parseEventType(const std::string &name, EventType &out);
+
+/** True for Read/Write/Open — the types that may touch the disk. */
+bool isIoEvent(EventType type);
+
+/**
+ * One traced operation, as the modified strace would have logged it.
+ *
+ * For Fork events, @ref fd holds the pid of the child being created.
+ * For Exit events the I/O fields are unused. Offsets and sizes are in
+ * bytes from the start of the file.
+ */
+struct TraceEvent
+{
+    TimeUs time = 0;        ///< when the operation was issued
+    Pid pid = 0;            ///< issuing process
+    EventType type = EventType::Read;
+    Address pc = 0;         ///< application call site of the I/O
+    Fd fd = -1;             ///< file descriptor used
+    FileId file = 0;        ///< file location on disk
+    std::uint64_t offset = 0; ///< byte offset within the file
+    std::uint32_t size = 0; ///< bytes transferred
+
+    /** Events order by time, ties broken by pid then type. */
+    bool operator<(const TraceEvent &other) const;
+    bool operator==(const TraceEvent &other) const = default;
+};
+
+/**
+ * An operation that misses the file cache (or a dirty write-back) and
+ * therefore reaches the disk. This is the stream that defines idle
+ * periods and that predictors observe.
+ */
+struct DiskAccess
+{
+    TimeUs time = 0;   ///< when the access arrives at the disk
+    Pid pid = 0;       ///< process responsible for the access
+    Address pc = 0;    ///< call site responsible (flush daemon PC for
+                       ///< write-backs)
+    Fd fd = -1;        ///< file descriptor of the triggering I/O
+    FileId file = 0;   ///< file accessed
+    bool isWrite = false; ///< write (or write-back) vs read
+    std::uint32_t blocks = 1; ///< number of cache blocks transferred
+
+    bool operator==(const DiskAccess &other) const = default;
+};
+
+} // namespace pcap::trace
+
+#endif // PCAP_TRACE_EVENT_HPP

@@ -1,0 +1,219 @@
+#include "trace/strace_parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+
+namespace pcap::trace {
+
+namespace {
+
+/** Trim leading/trailing whitespace. */
+std::string
+trimmed(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+/** Parse "123.456789" into microseconds. */
+bool
+parseTimestamp(const std::string &token, TimeUs &out)
+{
+    const std::size_t dot = token.find('.');
+    char *tail = nullptr;
+    const long long secs =
+        std::strtoll(token.c_str(), &tail, 10);
+    if (tail == token.c_str())
+        return false;
+    long long micros = 0;
+    if (dot != std::string::npos) {
+        std::string frac = token.substr(dot + 1);
+        if (frac.empty() || frac.size() > 6)
+            return false;
+        while (frac.size() < 6)
+            frac += '0';
+        char *frac_tail = nullptr;
+        micros = std::strtoll(frac.c_str(), &frac_tail, 10);
+        if (*frac_tail != '\0')
+            return false;
+    }
+    out = static_cast<TimeUs>(secs) * kUsPerSec + micros;
+    return true;
+}
+
+/** Extract `[key=value]` annotations appearing after the result. */
+bool
+annotation(const std::string &line, const std::string &key,
+           std::uint64_t &out)
+{
+    const std::string needle = key + "=";
+    std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    const char *start = line.c_str() + pos;
+    char *tail = nullptr;
+    out = std::strtoull(start, &tail, 0); // handles 0x.. and decimal
+    return tail != start;
+}
+
+/** Map a syscall name to an event type; false for unknown calls. */
+bool
+classify(const std::string &name, EventType &out)
+{
+    if (name == "read" || name == "pread" || name == "pread64") {
+        out = EventType::Read;
+    } else if (name == "write" || name == "pwrite" ||
+               name == "pwrite64") {
+        out = EventType::Write;
+    } else if (name == "open" || name == "openat" ||
+               name == "creat") {
+        out = EventType::Open;
+    } else if (name == "close") {
+        out = EventType::Close;
+    } else if (name == "fork" || name == "vfork" ||
+               name == "clone") {
+        out = EventType::Fork;
+    } else if (name == "exit" || name == "exit_group" ||
+               name == "_exit") {
+        out = EventType::Exit;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+StraceParseResult
+parseStrace(std::istream &is, const std::string &app, int execution,
+            std::string &error)
+{
+    error.clear();
+    StraceParseResult result;
+    result.trace = Trace(app, execution);
+
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(is, line)) {
+        ++line_number;
+        const std::string text = trimmed(line);
+        if (text.empty() || text[0] == '#')
+            continue;
+
+        std::istringstream fields(text);
+        std::string pid_token, time_token;
+        if (!(fields >> pid_token >> time_token)) {
+            error = "line " + std::to_string(line_number) +
+                    ": expected '<pid> <time> <syscall>(...'";
+            return result;
+        }
+
+        TraceEvent event;
+        char *tail = nullptr;
+        event.pid = static_cast<Pid>(
+            std::strtol(pid_token.c_str(), &tail, 10));
+        if (*tail != '\0') {
+            error = "line " + std::to_string(line_number) +
+                    ": bad pid '" + pid_token + "'";
+            return result;
+        }
+        if (!parseTimestamp(time_token, event.time)) {
+            error = "line " + std::to_string(line_number) +
+                    ": bad timestamp '" + time_token + "'";
+            return result;
+        }
+
+        // The rest of the line: "name(args) = ret [annotations]".
+        std::string rest;
+        std::getline(fields, rest);
+        rest = trimmed(rest);
+        const std::size_t paren = rest.find('(');
+        if (paren == std::string::npos) {
+            error = "line " + std::to_string(line_number) +
+                    ": expected a syscall with '('";
+            return result;
+        }
+        const std::string name = rest.substr(0, paren);
+        if (!classify(name, event.type)) {
+            ++result.linesSkipped;
+            continue; // e.g. gettimeofday, mmap, ...
+        }
+
+        // First argument of the I/O calls is the fd.
+        if (event.type == EventType::Read ||
+            event.type == EventType::Write ||
+            event.type == EventType::Close) {
+            event.fd = static_cast<Fd>(
+                std::strtol(rest.c_str() + paren + 1, nullptr, 10));
+        }
+
+        // Return value after "= ".
+        long long ret = 0;
+        const std::size_t equals = rest.rfind("= ");
+        if (equals != std::string::npos) {
+            ret = std::strtoll(rest.c_str() + equals + 2, nullptr,
+                               10);
+        }
+        switch (event.type) {
+          case EventType::Read:
+          case EventType::Write:
+            if (ret > 0)
+                event.size = static_cast<std::uint32_t>(ret);
+            break;
+          case EventType::Open:
+            event.fd = static_cast<Fd>(ret); // fd returned by open
+            break;
+          case EventType::Fork:
+            event.fd = static_cast<Fd>(ret); // the child pid
+            if (ret <= 0) {
+                result.warnings.push_back(
+                    "line " + std::to_string(line_number) +
+                    ": fork without a child pid, skipped");
+                ++result.linesSkipped;
+                continue;
+            }
+            break;
+          default:
+            break;
+        }
+
+        // Optional annotations from the modified tracer.
+        std::uint64_t value = 0;
+        if (annotation(rest, "pc", value))
+            event.pc = static_cast<Address>(value);
+        else if (isIoEvent(event.type))
+            result.warnings.push_back(
+                "line " + std::to_string(line_number) +
+                ": I/O without a pc annotation");
+        if (annotation(rest, "file", value))
+            event.file = static_cast<FileId>(value);
+        if (annotation(rest, "off", value))
+            event.offset = value;
+
+        result.trace.append(event);
+        ++result.linesParsed;
+    }
+
+    result.trace.sortByTime();
+    return result;
+}
+
+StraceParseResult
+parseStraceText(const std::string &text, const std::string &app,
+                int execution, std::string &error)
+{
+    std::istringstream is(text);
+    return parseStrace(is, app, execution, error);
+}
+
+} // namespace pcap::trace

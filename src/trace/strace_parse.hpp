@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Parser for modified-strace logs.
+ *
+ * The paper collected its traces "by modifying the strace Linux
+ * utility" so that every I/O line also carries the application
+ * program counter (Section 6). This parser accepts that style of
+ * log, one event per line:
+ *
+ *     <pid> <seconds>.<micros> read(<fd>, ...) = <ret> [pc=0x...] [file=<id>] [off=<bytes>]
+ *     <pid> <seconds>.<micros> fork() = <child>
+ *     <pid> <seconds>.<micros> exit(0) = ?
+ *
+ * so real traces (or logs from an actual strace wrapper) can be fed
+ * to the same simulator as the synthetic workload. Unknown syscalls
+ * are skipped, annotations are optional, and malformed lines are
+ * reported with their line number.
+ */
+
+#ifndef PCAP_TRACE_STRACE_PARSE_HPP
+#define PCAP_TRACE_STRACE_PARSE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace pcap::trace {
+
+/** Outcome of parsing one strace-style log. */
+struct StraceParseResult
+{
+    Trace trace;                       ///< time-sorted events
+    std::size_t linesParsed = 0;       ///< events accepted
+    std::size_t linesSkipped = 0;      ///< unknown-syscall lines
+    std::vector<std::string> warnings; ///< per-line soft problems
+};
+
+/**
+ * Parse a modified-strace log into a trace named @p app (execution
+ * @p execution).
+ *
+ * Recognized syscalls: open/openat (Open), read/pread (Read),
+ * write/pwrite (Write), close (Close), fork/clone/vfork (Fork, the
+ * child pid is the return value), exit/exit_group (Exit). The
+ * bracket annotations `[pc=..]` (hex or decimal), `[file=..]` and
+ * `[off=..]` may appear in any order after the `= ret` part; read
+ * and write take their byte count from the return value.
+ *
+ * @param error Receives a description of the first hard parse error
+ *        (empty on success). Soft problems (skipped lines) go into
+ *        the result's warnings.
+ */
+StraceParseResult parseStrace(std::istream &is,
+                              const std::string &app, int execution,
+                              std::string &error);
+
+/** Convenience: parse a log held in a string. */
+StraceParseResult parseStraceText(const std::string &text,
+                                  const std::string &app,
+                                  int execution, std::string &error);
+
+} // namespace pcap::trace
+
+#endif // PCAP_TRACE_STRACE_PARSE_HPP

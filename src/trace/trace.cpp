@@ -1,0 +1,127 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace pcap::trace {
+
+void
+Trace::sortByTime()
+{
+    std::stable_sort(events_.begin(), events_.end());
+}
+
+std::size_t
+Trace::ioCount() const
+{
+    std::size_t count = 0;
+    for (const auto &event : events_) {
+        if (isIoEvent(event.type))
+            ++count;
+    }
+    return count;
+}
+
+std::vector<Pid>
+Trace::pids() const
+{
+    std::set<Pid> seen;
+    for (const auto &event : events_) {
+        seen.insert(event.pid);
+        if (event.type == EventType::Fork)
+            seen.insert(static_cast<Pid>(event.fd));
+    }
+    return {seen.begin(), seen.end()};
+}
+
+std::vector<TraceEvent>
+Trace::eventsOf(Pid pid) const
+{
+    std::vector<TraceEvent> result;
+    for (const auto &event : events_) {
+        if (event.pid == pid)
+            result.push_back(event);
+    }
+    return result;
+}
+
+TimeUs
+Trace::startTime() const
+{
+    return events_.empty() ? 0 : events_.front().time;
+}
+
+TimeUs
+Trace::endTime() const
+{
+    return events_.empty() ? 0 : events_.back().time;
+}
+
+std::string
+Trace::validate() const
+{
+    std::ostringstream error;
+
+    TimeUs last_time = 0;
+    bool first = true;
+    // The initial process of the execution is the pid of the first
+    // event; every other pid must be introduced by a Fork.
+    std::set<Pid> live;
+    std::set<Pid> exited;
+
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const TraceEvent &event = events_[i];
+
+        if (!first && event.time < last_time) {
+            error << "event " << i << " out of order: " << event.time
+                  << " < " << last_time;
+            return error.str();
+        }
+        last_time = event.time;
+
+        if (first) {
+            live.insert(event.pid);
+            first = false;
+        }
+
+        if (!live.count(event.pid)) {
+            if (exited.count(event.pid)) {
+                error << "event " << i << ": pid " << event.pid
+                      << " acts after exit";
+            } else {
+                error << "event " << i << ": pid " << event.pid
+                      << " acts before being forked";
+            }
+            return error.str();
+        }
+
+        switch (event.type) {
+          case EventType::Fork: {
+            const Pid child = static_cast<Pid>(event.fd);
+            if (live.count(child) || exited.count(child)) {
+                error << "event " << i << ": fork of existing pid "
+                      << child;
+                return error.str();
+            }
+            live.insert(child);
+            break;
+          }
+          case EventType::Exit:
+            live.erase(event.pid);
+            exited.insert(event.pid);
+            break;
+          default:
+            break;
+        }
+    }
+
+    if (!events_.empty() && !live.empty()) {
+        error << live.size() << " process(es) never exit";
+        return error.str();
+    }
+
+    return {};
+}
+
+} // namespace pcap::trace

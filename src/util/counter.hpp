@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Saturating confidence counter, as used throughout the branch
+ * prediction literature the paper draws on (Smith 1981) and inside
+ * our Learning Tree reconstruction.
+ */
+
+#ifndef PCAP_UTIL_COUNTER_HPP
+#define PCAP_UTIL_COUNTER_HPP
+
+#include <cstdint>
+
+#include "util/logging.hpp"
+
+namespace pcap {
+
+/**
+ * An n-state saturating up/down counter.
+ *
+ * The counter holds a value in [0, max]. increment() and decrement()
+ * saturate instead of wrapping. Confidence-style predictors treat
+ * values in the upper half as "taken"/"predict".
+ */
+class SaturatingCounter
+{
+  public:
+    /**
+     * @param max Largest representable value (>= 1).
+     * @param initial Starting value, clamped into [0, max].
+     */
+    explicit SaturatingCounter(std::uint8_t max = 3,
+                               std::uint8_t initial = 0)
+        : max_(max), value_(initial > max ? max : initial)
+    {
+        if (max == 0)
+            panic("SaturatingCounter: max must be >= 1");
+    }
+
+    /** Current value. */
+    std::uint8_t value() const { return value_; }
+
+    /** Largest representable value. */
+    std::uint8_t max() const { return max_; }
+
+    /** Increase by one, saturating at max. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrease by one, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** True when the counter sits in the upper half of its range. */
+    bool isConfident() const { return value_ * 2 > max_; }
+
+    /** True when saturated at max. */
+    bool isSaturated() const { return value_ == max_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint8_t max_;
+    std::uint8_t value_;
+};
+
+} // namespace pcap
+
+#endif // PCAP_UTIL_COUNTER_HPP

@@ -1,0 +1,42 @@
+#include "util/logging.hpp"
+
+namespace pcap {
+
+namespace detail {
+
+void
+logMessage(const char *tag, const std::string &message)
+{
+    std::fprintf(stderr, "%s: %s\n", tag, message.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+
+void
+panic(const std::string &message)
+{
+    detail::logMessage("panic", message);
+    std::abort();
+}
+
+void
+fatal(const std::string &message)
+{
+    detail::logMessage("fatal", message);
+    std::exit(1);
+}
+
+void
+warn(const std::string &message)
+{
+    detail::logMessage("warn", message);
+}
+
+void
+inform(const std::string &message)
+{
+    detail::logMessage("info", message);
+}
+
+} // namespace pcap

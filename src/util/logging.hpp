@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Error and status reporting helpers, following the gem5 convention:
+ * panic() for internal invariant violations (a bug in this library),
+ * fatal() for unrecoverable user/configuration errors, warn() and
+ * inform() for non-fatal status messages.
+ */
+
+#ifndef PCAP_UTIL_LOGGING_HPP
+#define PCAP_UTIL_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pcap {
+
+namespace detail {
+
+/** Print a tagged message to stderr: "tag: message\n". */
+void logMessage(const char *tag, const std::string &message);
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * Call when something happened that must never happen regardless of
+ * user input — i.e. a bug in this library. Aborts so a debugger or
+ * core dump can capture the state.
+ */
+[[noreturn]] void panic(const std::string &message);
+
+/**
+ * Report an unrecoverable user-facing error and exit(1).
+ *
+ * Call for bad configuration or invalid arguments — conditions that
+ * are the caller's fault rather than a library bug.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/** Warn about a suspicious but survivable condition. */
+void warn(const std::string &message);
+
+/** Print an informational status message. */
+void inform(const std::string &message);
+
+} // namespace pcap
+
+#endif // PCAP_UTIL_LOGGING_HPP

@@ -1,0 +1,163 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace pcap {
+
+namespace {
+
+/** SplitMix64 step, used for seeding and stream derivation. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+hashString(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::uniformInt: lo > hi");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = (~0ull / span) * span;
+    std::uint64_t v = next();
+    while (v >= limit)
+        v = next();
+    return lo + static_cast<std::int64_t>(v % span);
+}
+
+double
+Rng::uniform01()
+{
+    // 53 random bits into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    if (lo > hi)
+        panic("Rng::uniformReal: lo > hi");
+    return lo + (hi - lo) * uniform01();
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform01() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    if (mean <= 0.0)
+        panic("Rng::exponential: mean must be positive");
+    double u = uniform01();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal01()
+{
+    // Box-Muller; discard the second value for simplicity.
+    double u1 = uniform01();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    const double u2 = uniform01();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return r * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::logNormal(double median, double sigma)
+{
+    if (median <= 0.0)
+        panic("Rng::logNormal: median must be positive");
+    return median * std::exp(sigma * normal01());
+}
+
+std::size_t
+Rng::weightedChoice(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    if (weights.empty() || total <= 0.0)
+        panic("Rng::weightedChoice: need a positive total weight");
+    double pick = uniform01() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        pick -= weights[i];
+        if (pick < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork(std::uint64_t tag)
+{
+    // Mix the parent's stream position with the tag so sibling forks
+    // differ even when created back to back with equal tags.
+    std::uint64_t mix = next() ^ (tag * 0x9e3779b97f4a7c15ull);
+    return Rng(splitMix64(mix));
+}
+
+} // namespace pcap

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload
+ * synthesis.
+ *
+ * The whole reproduction must be bit-reproducible: the same seed must
+ * generate the same traces on every platform and every run, so that
+ * tests, benches and EXPERIMENTS.md stay in agreement. std::mt19937
+ * would work, but the std:: distributions are not guaranteed to be
+ * identical across standard libraries, so we implement the generator
+ * (xoshiro256**) and every distribution we need ourselves.
+ */
+
+#ifndef PCAP_UTIL_RNG_HPP
+#define PCAP_UTIL_RNG_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcap {
+
+/** FNV-1a hash of a string; used to derive per-application seeds. */
+std::uint64_t hashString(const std::string &text);
+
+/**
+ * Deterministic random number generator with the handful of
+ * distributions the workload models need.
+ *
+ * Internally a xoshiro256** generator seeded via SplitMix64, so a
+ * single 64-bit seed fully determines the stream.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform01();
+
+    /** Uniform double in [lo, hi). Requires lo <= hi. */
+    double uniformReal(double lo, double hi);
+
+    /** Bernoulli trial: true with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /** Exponentially distributed double with the given mean (> 0). */
+    double exponential(double mean);
+
+    /**
+     * Log-normal-ish "think time" draw: exp of a normal with the
+     * given median and spread (sigma of the underlying normal).
+     * Heavy-tailed like human pause times.
+     */
+    double logNormal(double median, double sigma);
+
+    /**
+     * Pick an index in [0, weights.size()) with probability
+     * proportional to its weight. Requires a non-empty vector with a
+     * positive total weight.
+     */
+    std::size_t weightedChoice(const std::vector<double> &weights);
+
+    /**
+     * Derive an independent child generator. Streams of children with
+     * different tags are uncorrelated with each other and with the
+     * parent, letting each (application, execution) pair own a stream
+     * that does not depend on how much randomness other executions
+     * consumed.
+     */
+    Rng fork(std::uint64_t tag);
+
+  private:
+    /** Standard normal via Box-Muller (one value per call). */
+    double normal01();
+
+    std::uint64_t state_[4];
+};
+
+} // namespace pcap
+
+#endif // PCAP_UTIL_RNG_HPP

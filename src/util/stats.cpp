@@ -1,0 +1,67 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcap {
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    sum_ += x;
+    ++count_;
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::clamp(p, 0.0, 1.0);
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(clamped * static_cast<double>(sorted.size())));
+    const std::size_t index = rank == 0 ? 0 : rank - 1;
+    return sorted[std::min(index, sorted.size() - 1)];
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double s : samples_)
+        total += s;
+    return total / static_cast<double>(samples_.size());
+}
+
+double
+SampleSet::fractionIn(double lo, double hi) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::size_t hits = 0;
+    for (double s : samples_) {
+        if (s >= lo && s < hi)
+            ++hits;
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(samples_.size());
+}
+
+} // namespace pcap

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Small statistics accumulators used by reports and tests: running
+ * mean/min/max and an exact-percentile sample collector.
+ */
+
+#ifndef PCAP_UTIL_STATS_HPP
+#define PCAP_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace pcap {
+
+/** Running scalar summary: count, sum, mean, min, max. */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the summary. */
+    void add(double x);
+
+    /** Number of samples folded in. */
+    std::size_t count() const { return count_; }
+
+    /** Sum of samples (0 when empty). */
+    double sum() const { return sum_; }
+
+    /** Mean of samples (0 when empty). */
+    double mean() const;
+
+    /** Smallest sample (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Stores every sample so exact percentiles can be extracted. Intended
+ * for analysis of idle-period length distributions in examples and
+ * ablation benches, where sample counts stay modest.
+ */
+class SampleSet
+{
+  public:
+    /** Append one sample. */
+    void add(double x) { samples_.push_back(x); }
+
+    /** Number of samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    /**
+     * Exact p-quantile via nearest-rank, p in [0, 1]. Returns 0 when
+     * empty.
+     */
+    double percentile(double p) const;
+
+    /** Mean of samples (0 when empty). */
+    double mean() const;
+
+    /** Fraction of samples x with lo <= x < hi (0 when empty). */
+    double fractionIn(double lo, double hi) const;
+
+  private:
+    std::vector<double> samples_;
+};
+
+} // namespace pcap
+
+#endif // PCAP_UTIL_STATS_HPP

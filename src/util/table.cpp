@@ -1,0 +1,82 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pcap {
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    if (rows_.empty()) {
+        rows_.push_back(std::move(cells));
+    } else {
+        rows_.insert(rows_.begin(), std::move(cells));
+    }
+    hasHeader_ = true;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    if (rows_.empty())
+        return;
+
+    std::size_t cols = 0;
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+
+    std::vector<std::size_t> widths(cols, 0);
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::string &cell = c < row.size() ? row[c]
+                                                     : std::string();
+            os << cell;
+            if (c + 1 < cols)
+                os << std::string(widths[c] - cell.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    std::size_t row_index = 0;
+    for (const auto &row : rows_) {
+        print_row(row);
+        if (hasHeader_ && row_index == 0) {
+            std::size_t total = 0;
+            for (std::size_t c = 0; c < cols; ++c)
+                total += widths[c] + (c + 1 < cols ? 2 : 0);
+            os << std::string(total, '-') << '\n';
+        }
+        ++row_index;
+    }
+}
+
+std::string
+percentString(double ratio, int decimals)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f%%", decimals,
+                  ratio * 100.0);
+    return buffer;
+}
+
+std::string
+fixedString(double value, int decimals)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+    return buffer;
+}
+
+} // namespace pcap

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal fixed-width text table printer used by the bench binaries
+ * to emit the paper's tables and figure data as aligned rows.
+ */
+
+#ifndef PCAP_UTIL_TABLE_HPP
+#define PCAP_UTIL_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pcap {
+
+/**
+ * Accumulates rows of strings and prints them with columns padded to
+ * the widest cell. The first row added is treated as the header and
+ * underlined.
+ */
+class TextTable
+{
+  public:
+    /** Add one row; all rows should have the same number of cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: add the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Render the table to @p os with two spaces between columns. */
+    void print(std::ostream &os) const;
+
+    /** Number of rows added, including the header. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+    bool hasHeader_ = false;
+};
+
+/** Format a ratio as a percentage string like "76.3%". */
+std::string percentString(double ratio, int decimals = 1);
+
+/** Format a double with fixed decimals. */
+std::string fixedString(double value, int decimals = 2);
+
+} // namespace pcap
+
+#endif // PCAP_UTIL_TABLE_HPP

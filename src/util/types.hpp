@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the PCAP
+ * reproduction: simulated time, process ids, program-counter addresses
+ * and file identities.
+ *
+ * Simulated time is kept in signed 64-bit microseconds. All the
+ * thresholds the paper reasons about (1 s wait-window, 5.43 s
+ * breakeven, 10 s timeout, 30 s flush timer) are exactly representable
+ * and arithmetic stays exact, unlike with floating-point seconds.
+ */
+
+#ifndef PCAP_UTIL_TYPES_HPP
+#define PCAP_UTIL_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace pcap {
+
+/** Simulated time in microseconds since the start of a trace. */
+using TimeUs = std::int64_t;
+
+/** Process identifier inside a simulated application. */
+using Pid = std::int32_t;
+
+/**
+ * A program-counter value: the application call site that triggered an
+ * I/O operation. 32 bits, as in the paper's 4-byte signatures.
+ */
+using Address = std::uint32_t;
+
+/** Identity of a file (stands in for the file's location on disk). */
+using FileId = std::uint32_t;
+
+/** File descriptor as seen by the traced application. */
+using Fd = std::int32_t;
+
+/** One microsecond, for readability in arithmetic. */
+constexpr TimeUs kUsPerSec = 1'000'000;
+
+/** One millisecond in microseconds. */
+constexpr TimeUs kUsPerMs = 1'000;
+
+/** Sentinel meaning "never": later than any simulated instant. */
+constexpr TimeUs kTimeNever = std::numeric_limits<TimeUs>::max();
+
+/** Pseudo-pid of the kernel dirty-data flush daemon (pdflush). */
+constexpr Pid kFlushDaemonPid = 1;
+
+/** Program counter attributed to flush-daemon write-back I/O. */
+constexpr Address kFlushDaemonPc = 0xc0100000u;
+
+/** Convert whole seconds to microseconds. */
+constexpr TimeUs
+secondsUs(double s)
+{
+    return static_cast<TimeUs>(s * static_cast<double>(kUsPerSec));
+}
+
+/** Convert milliseconds to microseconds. */
+constexpr TimeUs
+millisUs(double ms)
+{
+    return static_cast<TimeUs>(ms * static_cast<double>(kUsPerMs));
+}
+
+/** Convert microseconds to floating-point seconds (for reporting). */
+constexpr double
+usToSeconds(TimeUs t)
+{
+    return static_cast<double>(t) / static_cast<double>(kUsPerSec);
+}
+
+} // namespace pcap
+
+#endif // PCAP_UTIL_TYPES_HPP

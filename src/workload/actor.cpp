@@ -1,0 +1,116 @@
+#include "workload/actor.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace pcap::workload {
+
+Actor::Actor(trace::TraceBuilder &builder, Rng rng, Pid pid,
+             TimeUs start)
+    : builder_(builder), rng_(std::move(rng)), pid_(pid), now_(start)
+{
+}
+
+void
+Actor::advanceTo(TimeUs t)
+{
+    if (t < now_)
+        panic("Actor::advanceTo: clock would go backwards");
+    now_ = t;
+}
+
+void
+Actor::op(trace::EventType type, Address pc, Fd fd, FileId file,
+          std::uint64_t offset, std::uint32_t size)
+{
+    builder_.io(now_, pid_, type, pc, fd, file, offset, size);
+    ++ioCount_;
+    now_ += std::max<TimeUs>(
+        millisUs(1),
+        static_cast<TimeUs>(rng_.exponential(
+            static_cast<double>(intraGapMean_))));
+}
+
+void
+Actor::open(Address pc, Fd fd, FileId file)
+{
+    op(trace::EventType::Open, pc, fd, file, 0, 0);
+}
+
+void
+Actor::close(Address pc, Fd fd, FileId file)
+{
+    op(trace::EventType::Close, pc, fd, file, 0, 0);
+}
+
+std::uint64_t
+Actor::readFile(Address pc, Fd fd, FileId file, std::uint64_t offset,
+                std::uint32_t bytes, std::uint32_t chunk)
+{
+    if (chunk == 0)
+        panic("Actor::readFile: zero chunk");
+    std::uint32_t remaining = bytes;
+    while (remaining > 0) {
+        const std::uint32_t step = std::min(remaining, chunk);
+        op(trace::EventType::Read, pc, fd, file, offset, step);
+        offset += step;
+        remaining -= step;
+    }
+    return offset;
+}
+
+std::uint64_t
+Actor::writeFile(Address pc, Fd fd, FileId file, std::uint64_t offset,
+                 std::uint32_t bytes, std::uint32_t chunk)
+{
+    if (chunk == 0)
+        panic("Actor::writeFile: zero chunk");
+    std::uint32_t remaining = bytes;
+    while (remaining > 0) {
+        const std::uint32_t step = std::min(remaining, chunk);
+        op(trace::EventType::Write, pc, fd, file, offset, step);
+        offset += step;
+        remaining -= step;
+    }
+    return offset;
+}
+
+void
+Actor::pause(TimeUs duration)
+{
+    if (duration < 0)
+        panic("Actor::pause: negative duration");
+    now_ += duration;
+}
+
+void
+Actor::pauseBetween(TimeUs lo, TimeUs hi)
+{
+    pause(rng_.uniformInt(lo, hi));
+}
+
+TimeUs
+Actor::think(double median_s, double sigma, double min_s,
+             double max_s)
+{
+    const double seconds =
+        std::clamp(rng_.logNormal(median_s, sigma), min_s, max_s);
+    const TimeUs duration = secondsUs(seconds);
+    pause(duration);
+    return duration;
+}
+
+void
+Actor::fork(Pid child)
+{
+    builder_.fork(now_, pid_, child);
+}
+
+void
+Actor::exit()
+{
+    builder_.exit(now_, pid_);
+}
+
+} // namespace pcap::workload

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Actor: per-process emission helper for the synthetic application
+ * models.
+ *
+ * Each simulated process owns an Actor bound to the shared
+ * TraceBuilder. The actor keeps the process's private clock and
+ * offers the vocabulary the models are written in: open/read/write
+ * bursts with sub-second intra-operation gaps, fixed pauses, and
+ * heavy-tailed human think times.
+ */
+
+#ifndef PCAP_WORKLOAD_ACTOR_HPP
+#define PCAP_WORKLOAD_ACTOR_HPP
+
+#include "trace/builder.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace pcap::workload {
+
+/**
+ * Emits the I/O stream of one process into a TraceBuilder.
+ *
+ * All emission methods issue events at the actor's current clock and
+ * advance it. Bursts advance by small exponential intra-operation
+ * gaps (tens of milliseconds — well below the predictors' one-second
+ * wait-window, like the 0.1 s spacing in the paper's Figure 3
+ * example); pause() and think() create the idle periods predictors
+ * reason about.
+ */
+class Actor
+{
+  public:
+    /**
+     * @param builder Shared trace builder of the execution.
+     * @param rng Random stream owned by this actor.
+     * @param pid This process's pid (must be live in the builder).
+     * @param start Initial clock value.
+     */
+    Actor(trace::TraceBuilder &builder, Rng rng, Pid pid,
+          TimeUs start);
+
+    /** Current process-local clock. */
+    TimeUs now() const { return now_; }
+
+    /** Move the clock forward to @p t (panics on going backwards). */
+    void advanceTo(TimeUs t);
+
+    /** Mean intra-burst gap between consecutive operations. */
+    void setIntraGap(TimeUs mean) { intraGapMean_ = mean; }
+
+    /** Emit a single I/O event at now(), then advance by an
+     * intra-burst gap. */
+    void op(trace::EventType type, Address pc, Fd fd, FileId file,
+            std::uint64_t offset, std::uint32_t size);
+
+    /** open() of @p file via call site @p pc. */
+    void open(Address pc, Fd fd, FileId file);
+
+    /** close() of @p fd. */
+    void close(Address pc, Fd fd, FileId file);
+
+    /**
+     * Sequential read of @p bytes from @p file starting at
+     * @p offset, issued as chunked read() calls from call site
+     * @p pc. @return the offset after the read.
+     */
+    std::uint64_t readFile(Address pc, Fd fd, FileId file,
+                           std::uint64_t offset, std::uint32_t bytes,
+                           std::uint32_t chunk = 8192);
+
+    /** Sequential write, mirror of readFile(). */
+    std::uint64_t writeFile(Address pc, Fd fd, FileId file,
+                            std::uint64_t offset, std::uint32_t bytes,
+                            std::uint32_t chunk = 8192);
+
+    /** Advance the clock by exactly @p duration (no events). */
+    void pause(TimeUs duration);
+
+    /** Advance by a uniform pause in [lo, hi]. */
+    void pauseBetween(TimeUs lo, TimeUs hi);
+
+    /**
+     * Human think time: log-normal with @p median_s seconds and
+     * spread @p sigma, clamped into [min_s, max_s].
+     * @return the drawn duration.
+     */
+    TimeUs think(double median_s, double sigma, double min_s,
+                 double max_s);
+
+    /** Fork a child process at now(); the child gets its own Actor
+     * via the caller. */
+    void fork(Pid child);
+
+    /** Exit this process at now(). */
+    void exit();
+
+    /** Random stream of this actor (models draw decisions from it). */
+    Rng &rng() { return rng_; }
+
+    /** Pid this actor emits as. */
+    Pid pid() const { return pid_; }
+
+    /** Number of I/O events emitted so far. */
+    std::uint64_t ioCount() const { return ioCount_; }
+
+  private:
+    trace::TraceBuilder &builder_;
+    Rng rng_;
+    Pid pid_;
+    TimeUs now_;
+    TimeUs intraGapMean_ = millisUs(40);
+    std::uint64_t ioCount_ = 0;
+};
+
+} // namespace pcap::workload
+
+#endif // PCAP_WORKLOAD_ACTOR_HPP

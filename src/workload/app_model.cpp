@@ -1,0 +1,41 @@
+#include "workload/app_model.hpp"
+
+#include "workload/apps.hpp"
+
+namespace pcap::workload {
+
+std::unique_ptr<AppModel>
+makeApp(const std::string &name)
+{
+    if (name == "mozilla")
+        return makeMozilla();
+    if (name == "writer")
+        return makeWriter();
+    if (name == "impress")
+        return makeImpress();
+    if (name == "xemacs")
+        return makeXemacs();
+    if (name == "nedit")
+        return makeNedit();
+    if (name == "mplayer")
+        return makeMplayer();
+    return nullptr;
+}
+
+std::vector<std::unique_ptr<AppModel>>
+makeStandardApps()
+{
+    std::vector<std::unique_ptr<AppModel>> apps;
+    for (const std::string &name : standardAppNames())
+        apps.push_back(makeApp(name));
+    return apps;
+}
+
+std::vector<std::string>
+standardAppNames()
+{
+    return {"mozilla", "writer", "impress", "xemacs", "nedit",
+            "mplayer"};
+}
+
+} // namespace pcap::workload

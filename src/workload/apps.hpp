@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Factories for the six application models of Table 1. Each model
+ * lives in its own translation unit under src/workload/apps/.
+ */
+
+#ifndef PCAP_WORKLOAD_APPS_HPP
+#define PCAP_WORKLOAD_APPS_HPP
+
+#include <memory>
+
+#include "workload/app_model.hpp"
+
+namespace pcap::workload {
+
+/** Web browser: bursty page loads, think times while reading,
+ * multimedia pages with delayed plugin loads (subpath aliasing). */
+std::unique_ptr<AppModel> makeMozilla();
+
+/** OpenOffice word processor: heavy startup, typing with autosaves,
+ * dictionary loads, save-as aliasing. */
+std::unique_ptr<AppModel> makeWriter();
+
+/** OpenOffice presentation editor: heavy startup with graphic
+ * filters, image inserts, periodic saves. */
+std::unique_ptr<AppModel> makeImpress();
+
+/** Editor for larger files: multi-file open loops (the paper's
+ * motivating example), long edit periods, occasional save-as. */
+std::unique_ptr<AppModel> makeXemacs();
+
+/** Quick single-file editor: open, edit once, save, quit — no
+ * repetition inside an execution. */
+std::unique_ptr<AppModel> makeNedit();
+
+/** Media player: buffer fill, periodic refills below breakeven,
+ * user pauses, end-of-movie buffer drain. */
+std::unique_ptr<AppModel> makeMplayer();
+
+} // namespace pcap::workload
+
+#endif // PCAP_WORKLOAD_APPS_HPP

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * File-cache tests: LRU behaviour, write-allocate semantics,
+ * age-based coalesced flushes, eviction write-backs and the
+ * trace-filter pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/file_cache.hpp"
+#include "trace/builder.hpp"
+
+namespace pcap::cache {
+namespace {
+
+trace::TraceEvent
+readEvent(TimeUs time, FileId file, std::uint64_t offset,
+          std::uint32_t size, Pid pid = 10, Address pc = 0x1000)
+{
+    trace::TraceEvent event;
+    event.time = time;
+    event.pid = pid;
+    event.type = trace::EventType::Read;
+    event.pc = pc;
+    event.fd = 3;
+    event.file = file;
+    event.offset = offset;
+    event.size = size;
+    return event;
+}
+
+trace::TraceEvent
+writeEvent(TimeUs time, FileId file, std::uint64_t offset,
+           std::uint32_t size)
+{
+    trace::TraceEvent event = readEvent(time, file, offset, size);
+    event.type = trace::EventType::Write;
+    return event;
+}
+
+CacheParams
+smallCache(std::size_t blocks = 4)
+{
+    CacheParams params;
+    params.blockSize = 4096;
+    params.capacityBytes = blocks * 4096;
+    return params;
+}
+
+TEST(CacheParams, DefaultsMatchPaper)
+{
+    const CacheParams params;
+    EXPECT_EQ(params.capacityBytes, 256u * 1024u);
+    EXPECT_EQ(params.blockSize, 4096u);
+    EXPECT_EQ(params.flushInterval, secondsUs(30));
+    EXPECT_EQ(params.capacityBlocks(), 64u);
+    EXPECT_EQ(params.validate(), "");
+}
+
+TEST(CacheParams, ValidateCatchesBadConfigs)
+{
+    CacheParams params;
+    params.blockSize = 0;
+    EXPECT_NE(params.validate(), "");
+
+    params = CacheParams{};
+    params.capacityBytes = 100;
+    EXPECT_NE(params.validate(), "");
+
+    params = CacheParams{};
+    params.flushCheckPeriod = params.flushInterval + 1;
+    EXPECT_NE(params.validate(), "");
+}
+
+TEST(FileCache, FirstReadMissesSecondHits)
+{
+    FileCache cache(smallCache());
+    std::vector<trace::DiskAccess> out;
+
+    cache.access(readEvent(100, 5, 0, 4096), out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].blocks, 1u);
+    EXPECT_FALSE(out[0].isWrite);
+    EXPECT_EQ(out[0].pid, 10);
+    EXPECT_EQ(out[0].pc, 0x1000u);
+
+    out.clear();
+    cache.access(readEvent(200, 5, 0, 4096), out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(FileCache, MultiBlockReadCountsEveryBlock)
+{
+    FileCache cache(smallCache(8));
+    std::vector<trace::DiskAccess> out;
+    cache.access(readEvent(100, 5, 0, 3 * 4096), out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].blocks, 3u);
+    EXPECT_EQ(cache.residentBlocks(), 3u);
+}
+
+TEST(FileCache, UnalignedAccessSpansBlocks)
+{
+    FileCache cache(smallCache(8));
+    std::vector<trace::DiskAccess> out;
+    // 2 bytes straddling a block boundary touch two blocks.
+    cache.access(readEvent(100, 5, 4095, 2), out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].blocks, 2u);
+}
+
+TEST(FileCache, LruEvictsLeastRecentlyUsed)
+{
+    FileCache cache(smallCache(2));
+    std::vector<trace::DiskAccess> out;
+    cache.access(readEvent(100, 1, 0, 4096), out);
+    cache.access(readEvent(200, 2, 0, 4096), out);
+    // Touch file 1 so file 2 becomes LRU.
+    cache.access(readEvent(300, 1, 0, 4096), out);
+    cache.access(readEvent(400, 3, 0, 4096), out); // evicts file 2
+
+    out.clear();
+    cache.access(readEvent(500, 1, 0, 4096), out);
+    EXPECT_TRUE(out.empty()); // still resident
+    cache.access(readEvent(600, 2, 0, 4096), out);
+    EXPECT_EQ(out.size(), 1u); // was evicted
+}
+
+TEST(FileCache, NeverExceedsCapacity)
+{
+    FileCache cache(smallCache(4));
+    std::vector<trace::DiskAccess> out;
+    for (int i = 0; i < 100; ++i)
+        cache.access(readEvent(100 * (i + 1), i, 0, 4096), out);
+    EXPECT_EQ(cache.residentBlocks(), 4u);
+    EXPECT_EQ(cache.stats().evictions, 96u);
+}
+
+TEST(FileCache, WriteMissFetchesFromDisk)
+{
+    FileCache cache(smallCache());
+    std::vector<trace::DiskAccess> out;
+    cache.access(writeEvent(100, 5, 0, 4096), out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].isWrite);
+    EXPECT_EQ(cache.dirtyBlocks(), 1u);
+}
+
+TEST(FileCache, WriteHitIsAbsorbed)
+{
+    FileCache cache(smallCache());
+    std::vector<trace::DiskAccess> out;
+    cache.access(readEvent(100, 5, 0, 4096), out);
+    out.clear();
+    cache.access(writeEvent(200, 5, 0, 4096), out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(cache.dirtyBlocks(), 1u);
+}
+
+TEST(FileCache, DirtyBlockFlushesAfterInterval)
+{
+    CacheParams params = smallCache();
+    FileCache cache(params);
+    std::vector<trace::DiskAccess> out;
+    cache.access(writeEvent(secondsUs(1), 5, 0, 4096), out);
+    out.clear();
+
+    // Just before expiry: nothing flushed.
+    cache.advanceTo(secondsUs(1) + params.flushInterval -
+                        secondsUs(1),
+                    out);
+    EXPECT_TRUE(out.empty());
+
+    // After expiry (next 5 s check): the write-back appears,
+    // attributed to the flush daemon.
+    cache.advanceTo(secondsUs(40), out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].pid, kFlushDaemonPid);
+    EXPECT_EQ(out[0].pc, kFlushDaemonPc);
+    EXPECT_TRUE(out[0].isWrite);
+    EXPECT_EQ(cache.dirtyBlocks(), 0u);
+}
+
+TEST(FileCache, RedirtyRefreshesWriteBackTimer)
+{
+    FileCache cache(smallCache());
+    std::vector<trace::DiskAccess> out;
+    cache.access(writeEvent(secondsUs(1), 5, 0, 4096), out);
+    // Re-dirty at 20 s: the write-back clock restarts.
+    cache.access(writeEvent(secondsUs(20), 5, 0, 4096), out);
+    out.clear();
+    cache.advanceTo(secondsUs(40), out);
+    EXPECT_TRUE(out.empty()); // 40 - 20 < 30
+    cache.advanceTo(secondsUs(55), out);
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(FileCache, FlushCoalescesWholeDirtySet)
+{
+    FileCache cache(smallCache(8));
+    std::vector<trace::DiskAccess> out;
+    cache.access(writeEvent(secondsUs(1), 5, 0, 4096), out);
+    cache.access(writeEvent(secondsUs(28), 6, 0, 4096), out);
+    out.clear();
+    // At ~31 s the first block expires; the second (only 3 s dirty)
+    // must be written back in the same batch.
+    cache.advanceTo(secondsUs(36), out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].blocks, 2u);
+    EXPECT_EQ(cache.dirtyBlocks(), 0u);
+}
+
+TEST(FileCache, EvictionWritesBackDirtyVictim)
+{
+    FileCache cache(smallCache(1));
+    std::vector<trace::DiskAccess> out;
+    cache.access(writeEvent(100, 5, 0, 4096), out);
+    out.clear();
+    cache.access(readEvent(200, 6, 0, 4096), out);
+    // Two accesses: the eviction write-back of file 5 and the read
+    // miss of file 6.
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_TRUE(out[0].isWrite);
+    EXPECT_EQ(out[0].pid, kFlushDaemonPid);
+    EXPECT_EQ(out[0].file, 5u);
+    EXPECT_FALSE(out[1].isWrite);
+}
+
+TEST(FileCache, OpenProbesMetadataOnce)
+{
+    FileCache cache(smallCache());
+    std::vector<trace::DiskAccess> out;
+    trace::TraceEvent open = readEvent(100, 5, 0, 0);
+    open.type = trace::EventType::Open;
+    cache.access(open, out);
+    EXPECT_EQ(out.size(), 1u);
+    out.clear();
+    open.time = 200;
+    cache.access(open, out);
+    EXPECT_TRUE(out.empty()); // metadata now cached
+}
+
+TEST(FileCache, MetadataAndDataBlocksAreDistinct)
+{
+    FileCache cache(smallCache());
+    std::vector<trace::DiskAccess> out;
+    cache.access(readEvent(100, 5, 0, 4096), out);
+    out.clear();
+    trace::TraceEvent open = readEvent(200, 5, 0, 0);
+    open.type = trace::EventType::Open;
+    cache.access(open, out);
+    EXPECT_EQ(out.size(), 1u); // inode probe still misses
+}
+
+TEST(FileCache, LifecycleEventsAreIgnored)
+{
+    FileCache cache(smallCache());
+    std::vector<trace::DiskAccess> out;
+    trace::TraceEvent fork = readEvent(100, 5, 0, 0);
+    fork.type = trace::EventType::Fork;
+    cache.access(fork, out);
+    trace::TraceEvent close = readEvent(200, 5, 0, 0);
+    close.type = trace::EventType::Close;
+    cache.access(close, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(cache.stats().lookups, 0u);
+}
+
+TEST(FileCache, FlushAllDrainsEverything)
+{
+    FileCache cache(smallCache(8));
+    std::vector<trace::DiskAccess> out;
+    cache.access(writeEvent(100, 5, 0, 2 * 4096), out);
+    out.clear();
+    cache.flushAll(secondsUs(2), out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].blocks, 2u);
+    EXPECT_EQ(cache.dirtyBlocks(), 0u);
+}
+
+TEST(FileCache, ClearColdStartsTheCache)
+{
+    FileCache cache(smallCache());
+    std::vector<trace::DiskAccess> out;
+    cache.access(readEvent(100, 5, 0, 4096), out);
+    cache.clear();
+    EXPECT_EQ(cache.residentBlocks(), 0u);
+    out.clear();
+    cache.access(readEvent(200, 5, 0, 4096), out);
+    EXPECT_EQ(out.size(), 1u); // misses again
+}
+
+TEST(FilterTrace, ProducesSortedAccessesAndStats)
+{
+    trace::TraceBuilder builder("app", 0, 10);
+    builder.io(secondsUs(1), 10, trace::EventType::Read, 0x1000, 3,
+               5, 0, 8192);
+    builder.io(secondsUs(2), 10, trace::EventType::Write, 0x2000, 3,
+               5, 0, 4096);
+    builder.io(secondsUs(3), 10, trace::EventType::Read, 0x3000, 3,
+               6, 0, 4096);
+    const trace::Trace trace = builder.finish(secondsUs(60));
+
+    CacheStats stats;
+    const auto accesses = filterTrace(trace, smallCache(8), &stats);
+
+    for (std::size_t i = 1; i < accesses.size(); ++i)
+        EXPECT_LE(accesses[i - 1].time, accesses[i].time);
+    EXPECT_GT(stats.lookups, 0u);
+    EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+    // The write at 2 s hits blocks read at 1 s (absorbed), then the
+    // final flush at 60 s writes it back.
+    EXPECT_GE(stats.writebackBlocks, 1u);
+    EXPECT_TRUE(accesses.back().isWrite);
+    EXPECT_EQ(accesses.back().pid, kFlushDaemonPid);
+}
+
+TEST(FilterTrace, HitRatioReflectsRereads)
+{
+    trace::TraceBuilder builder("app", 0, 10);
+    for (int i = 0; i < 10; ++i) {
+        builder.io(secondsUs(i + 1), 10, trace::EventType::Read,
+                   0x1000, 3, 5, 0, 4096);
+    }
+    const trace::Trace trace = builder.finish(secondsUs(20));
+    CacheStats stats;
+    filterTrace(trace, smallCache(8), &stats);
+    EXPECT_DOUBLE_EQ(stats.hitRatio(), 0.9);
+}
+
+} // namespace
+} // namespace pcap::cache

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * PCAP predictor tests, including a step-by-step replay of the
+ * paper's Figure 3 example, wait-window filtering, subpath aliasing,
+ * and the history / file-descriptor context variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/pcap.hpp"
+
+namespace pcap::core {
+namespace {
+
+using pred::DecisionSource;
+using pred::IoContext;
+using pred::ShutdownDecision;
+
+constexpr Address kPc1 = 0x08048010;
+constexpr Address kPc2 = 0x08048020;
+constexpr Address kPc3 = 0x08048030;
+
+IoContext
+io(TimeUs time, TimeUs since_prev, Address pc, Fd fd = 3)
+{
+    IoContext ctx;
+    ctx.time = time;
+    ctx.sincePrev = since_prev;
+    ctx.pc = pc;
+    ctx.fd = fd;
+    return ctx;
+}
+
+struct PcapFixture : ::testing::Test
+{
+    PcapFixture()
+        : table(std::make_shared<PredictionTable>())
+    {
+    }
+
+    PcapPredictor
+    make(PcapConfig config = {})
+    {
+        return PcapPredictor(config, table);
+    }
+
+    std::shared_ptr<PredictionTable> table;
+};
+
+TEST_F(PcapFixture, UntrainedPredictorFallsBackToTimeout)
+{
+    PcapPredictor predictor = make();
+    const ShutdownDecision decision =
+        predictor.onIo(io(secondsUs(1), -1, kPc1));
+    EXPECT_EQ(decision.source, DecisionSource::Backup);
+    EXPECT_EQ(decision.earliest, secondsUs(11));
+}
+
+TEST_F(PcapFixture, PaperFigure3Walkthrough)
+{
+    // The exact example of Figure 3: accesses 0.1 s apart at PC1,
+    // PC2, PC1, then a 20 s idle period; the sequence repeats.
+    PcapPredictor predictor = make();
+    const double t0[] = {0.1, 0.2, 0.3};
+    const Address pcs[] = {kPc1, kPc2, kPc1};
+
+    // First sequence: no prediction, the path is learned when the
+    // long idle period completes.
+    TimeUs prev = -1;
+    for (int i = 0; i < 3; ++i) {
+        const TimeUs t = secondsUs(t0[i]);
+        const ShutdownDecision d = predictor.onIo(
+            io(t, prev < 0 ? -1 : t - prev, pcs[i]));
+        EXPECT_EQ(d.source, DecisionSource::Backup);
+        prev = t;
+    }
+    EXPECT_EQ(predictor.signature(), kPc1 + kPc2 + kPc1);
+    EXPECT_EQ(table->size(), 0u); // not yet: idle period not over
+
+    // Second sequence at 20.1..20.3 s: the 19.8 s gap trains the
+    // signature, and the repeat of {PC1, PC2, PC1} triggers the
+    // shutdown prediction.
+    const double t1[] = {20.1, 20.2, 20.3};
+    ShutdownDecision last;
+    for (int i = 0; i < 3; ++i) {
+        const TimeUs t = secondsUs(t1[i]);
+        last = predictor.onIo(io(t, t - prev, pcs[i]));
+        prev = t;
+    }
+    EXPECT_EQ(table->size(), 1u);
+    EXPECT_EQ(last.source, DecisionSource::Primary);
+    EXPECT_EQ(last.earliest, secondsUs(20.3) + secondsUs(1.0));
+    EXPECT_EQ(predictor.predictions(), 1u);
+
+    // Third sequence followed immediately by PC2 — the paper's
+    // subpath-aliasing case. The prediction fires at the third
+    // access; PC2 arriving 0.1 s later falls inside the wait-window,
+    // so the shutdown is cancelled and no misprediction is charged.
+    const double t2[] = {40.1, 40.2, 40.3};
+    for (int i = 0; i < 3; ++i) {
+        const TimeUs t = secondsUs(t2[i]);
+        last = predictor.onIo(io(t, t - prev, pcs[i]));
+        prev = t;
+    }
+    EXPECT_EQ(last.source, DecisionSource::Primary);
+    const TimeUs t_pc2 = secondsUs(40.4);
+    last = predictor.onIo(io(t_pc2, t_pc2 - prev, kPc2));
+    // Wait time had not expired: shutdown superseded, path continues
+    // without interruption.
+    EXPECT_EQ(predictor.mispredictionsObserved(), 0u);
+    EXPECT_EQ(predictor.signature(), kPc1 + kPc2 + kPc1 + kPc2);
+}
+
+TEST_F(PcapFixture, LongIdleResetsThePath)
+{
+    PcapPredictor predictor = make();
+    predictor.onIo(io(secondsUs(1), -1, kPc1));
+    predictor.onIo(io(secondsUs(1.1), millisUs(100), kPc2));
+    // 30 s gap: path reset; the new path starts at kPc3.
+    predictor.onIo(io(secondsUs(31.1), secondsUs(30), kPc3));
+    EXPECT_EQ(predictor.signature(), kPc3);
+}
+
+TEST_F(PcapFixture, MediumIdleContinuesThePath)
+{
+    PcapPredictor predictor = make();
+    predictor.onIo(io(secondsUs(1), -1, kPc1));
+    // 3 s gap: above wait-window, below breakeven — no reset.
+    predictor.onIo(io(secondsUs(4), secondsUs(3), kPc2));
+    EXPECT_EQ(predictor.signature(), kPc1 + kPc2);
+}
+
+TEST_F(PcapFixture, SubWaitWindowGapIsInvisible)
+{
+    PcapConfig config;
+    config.useHistory = true;
+    PcapPredictor predictor = make(config);
+    const std::uint16_t before = predictor.historyBits();
+    predictor.onIo(io(secondsUs(1), -1, kPc1));
+    predictor.onIo(io(secondsUs(1.5), millisUs(500), kPc2));
+    EXPECT_EQ(predictor.historyBits(), before);
+    EXPECT_EQ(predictor.signature(), kPc1 + kPc2);
+}
+
+TEST_F(PcapFixture, SubpathAliasingMispredictionIsCounted)
+{
+    PcapPredictor predictor = make();
+    // Train {kPc1} as a long-idle path.
+    predictor.onIo(io(secondsUs(1), -1, kPc1));
+    predictor.onIo(io(secondsUs(31), secondsUs(30), kPc1));
+    EXPECT_EQ(table->size(), 1u);
+    // The repeat predicts a long idle period, but a 3 s gap follows:
+    // a misprediction the wait-window could not filter.
+    predictor.onIo(io(secondsUs(34), secondsUs(3), kPc2));
+    EXPECT_EQ(predictor.mispredictionsObserved(), 1u);
+}
+
+TEST_F(PcapFixture, UnlearnOptionDropsAliasedEntry)
+{
+    PcapConfig config;
+    config.unlearnOnMisprediction = true;
+    PcapPredictor predictor = make(config);
+    predictor.onIo(io(secondsUs(1), -1, kPc1));
+    predictor.onIo(io(secondsUs(31), secondsUs(30), kPc1));
+    EXPECT_EQ(table->size(), 1u);
+    predictor.onIo(io(secondsUs(34), secondsUs(3), kPc2));
+    EXPECT_EQ(table->size(), 0u);
+}
+
+TEST_F(PcapFixture, HistoryContextDisambiguatesAliasedPaths)
+{
+    PcapConfig config;
+    config.useHistory = true;
+    PcapPredictor predictor = make(config);
+
+    // Context A: kPc1 under an all-long history is followed by a
+    // long idle -> trained as (kPc1, 111111); the repeat predicts.
+    predictor.onIo(io(secondsUs(10), -1, kPc1));
+    predictor.onIo(io(secondsUs(40), secondsUs(30), kPc1));
+    EXPECT_EQ(predictor.decision().source, DecisionSource::Primary);
+
+    // Context B: reach the same kPc1 signature, but with a medium
+    // period in the recent history (a 3 s pause, then a long idle
+    // that resets the path back to a fresh kPc1).
+    predictor.onIo(io(secondsUs(43), secondsUs(3), kPc2));
+    predictor.onIo(io(secondsUs(73), secondsUs(30), kPc1));
+    EXPECT_EQ(predictor.signature(), kPc1);
+    // (kPc1, ...111101) is not in the table: no false prediction.
+    EXPECT_EQ(predictor.decision().source, DecisionSource::Backup);
+
+    // The history-less variant sees only the signature and would
+    // predict here — the contrast history buys.
+    auto base_table = std::make_shared<PredictionTable>();
+    PcapPredictor base(PcapConfig{}, base_table);
+    base.onIo(io(secondsUs(10), -1, kPc1));
+    base.onIo(io(secondsUs(40), secondsUs(30), kPc1));
+    base.onIo(io(secondsUs(43), secondsUs(3), kPc2));
+    base.onIo(io(secondsUs(73), secondsUs(30), kPc1));
+    EXPECT_EQ(base.decision().source, DecisionSource::Primary);
+}
+
+TEST_F(PcapFixture, HistoryBitsRecordMediumAndLongPeriods)
+{
+    PcapConfig config;
+    config.useHistory = true;
+    config.historyLength = 4;
+    PcapPredictor predictor = make(config);
+    // Seeded with all 1s (idle-forever cold start).
+    EXPECT_EQ(predictor.historyBits(), 0b1111u);
+
+    predictor.onIo(io(secondsUs(1), -1, kPc1));
+    predictor.onIo(io(secondsUs(4), secondsUs(3), kPc1)); // 0
+    EXPECT_EQ(predictor.historyBits(), 0b1110u);
+    predictor.onIo(io(secondsUs(24), secondsUs(20), kPc1)); // 1
+    EXPECT_EQ(predictor.historyBits(), 0b1101u);
+}
+
+TEST_F(PcapFixture, FdContextDisambiguatesAliasedPaths)
+{
+    PcapConfig config;
+    config.useFd = true;
+    PcapPredictor predictor = make(config);
+
+    // Train the path ending at fd 3.
+    predictor.onIo(io(secondsUs(1), -1, kPc1, 3));
+    predictor.onIo(io(secondsUs(31), secondsUs(30), kPc1, 3));
+    EXPECT_EQ(table->size(), 1u);
+
+    // Same signature arriving through fd 7 does not match.
+    predictor.onIo(io(secondsUs(61), secondsUs(30), kPc1, 7));
+    EXPECT_EQ(predictor.decision().source, DecisionSource::Backup);
+}
+
+TEST_F(PcapFixture, BaseVariantIgnoresFd)
+{
+    PcapPredictor predictor = make();
+    predictor.onIo(io(secondsUs(1), -1, kPc1, 3));
+    predictor.onIo(io(secondsUs(31), secondsUs(30), kPc1, 7));
+    // Same signature, different fd: still a primary prediction.
+    EXPECT_EQ(predictor.decision().source, DecisionSource::Primary);
+}
+
+TEST_F(PcapFixture, TrainingInsertsAreCounted)
+{
+    PcapPredictor predictor = make();
+    predictor.onIo(io(secondsUs(1), -1, kPc1));
+    predictor.onIo(io(secondsUs(31), secondsUs(30), kPc2));
+    predictor.onIo(io(secondsUs(61), secondsUs(30), kPc3));
+    EXPECT_EQ(predictor.trainingInserts(), 2u);
+    EXPECT_EQ(table->size(), 2u);
+}
+
+TEST_F(PcapFixture, BackupDisabledYieldsNever)
+{
+    PcapConfig config;
+    config.backupEnabled = false;
+    PcapPredictor predictor = make(config);
+    const ShutdownDecision decision =
+        predictor.onIo(io(secondsUs(1), -1, kPc1));
+    EXPECT_EQ(decision.earliest, kTimeNever);
+    EXPECT_EQ(decision.source, DecisionSource::None);
+}
+
+TEST_F(PcapFixture, ResetExecutionKeepsTheSharedTable)
+{
+    PcapPredictor predictor = make();
+    predictor.onIo(io(secondsUs(1), -1, kPc1));
+    predictor.onIo(io(secondsUs(31), secondsUs(30), kPc1));
+    EXPECT_EQ(table->size(), 1u);
+
+    predictor.resetExecution();
+    EXPECT_EQ(predictor.signature(), 0u);
+    // The trained path predicts again in the next execution — the
+    // table-reuse property of Section 4.2.
+    predictor.onIo(io(secondsUs(1), -1, kPc1));
+    EXPECT_EQ(predictor.decision().source, DecisionSource::Primary);
+}
+
+TEST_F(PcapFixture, TwoProcessesShareOneTable)
+{
+    PcapPredictor a = make();
+    PcapPredictor b = make();
+    a.onIo(io(secondsUs(1), -1, kPc1));
+    a.onIo(io(secondsUs(31), secondsUs(30), kPc1));
+    // Process b benefits from a's training immediately.
+    b.onIo(io(secondsUs(40), -1, kPc1));
+    EXPECT_EQ(b.decision().source, DecisionSource::Primary);
+}
+
+TEST_F(PcapFixture, VariantNames)
+{
+    PcapConfig config;
+    EXPECT_EQ(config.variantName(), "PCAP");
+    EXPECT_STREQ(make(config).name(), "PCAP");
+    config.useHistory = true;
+    EXPECT_EQ(config.variantName(), "PCAPh");
+    EXPECT_STREQ(make(config).name(), "PCAPh");
+    config.useHistory = false;
+    config.useFd = true;
+    EXPECT_EQ(config.variantName(), "PCAPf");
+    EXPECT_STREQ(make(config).name(), "PCAPf");
+    config.useHistory = true;
+    EXPECT_EQ(config.variantName(), "PCAPfh");
+    EXPECT_STREQ(make(config).name(), "PCAPfh");
+}
+
+TEST_F(PcapFixture, HitConfirmationRefreshesEntry)
+{
+    PcapPredictor predictor = make();
+    predictor.onIo(io(secondsUs(1), -1, kPc1));
+    predictor.onIo(io(secondsUs(31), secondsUs(30), kPc1));
+    predictor.onIo(io(secondsUs(61), secondsUs(30), kPc1));
+    TableKey key;
+    key.signature = kPc1;
+    EXPECT_EQ(table->entryOf(key).trainings, 2u);
+}
+
+TEST(PcapDeath, NullTableIsFatal)
+{
+    EXPECT_DEATH(PcapPredictor(PcapConfig{}, nullptr), "null");
+}
+
+TEST(PcapDeath, BadHistoryLengthIsFatal)
+{
+    PcapConfig config;
+    config.historyLength = 0;
+    EXPECT_DEATH(PcapPredictor(
+                     config, std::make_shared<PredictionTable>()),
+                 "history length");
+}
+
+} // namespace
+} // namespace pcap::core

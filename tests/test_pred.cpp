@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests of the predictor framework and the baselines: decision
+ * semantics, the timeout predictor and the Learning Tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pred/learning_tree.hpp"
+#include "pred/predictor.hpp"
+#include "pred/timeout.hpp"
+
+namespace pcap::pred {
+namespace {
+
+IoContext
+io(TimeUs time, TimeUs since_prev)
+{
+    IoContext ctx;
+    ctx.time = time;
+    ctx.sincePrev = since_prev;
+    ctx.pc = 0x1000;
+    ctx.fd = 3;
+    return ctx;
+}
+
+TEST(DecisionSource, Names)
+{
+    EXPECT_STREQ(decisionSourceName(DecisionSource::None), "none");
+    EXPECT_STREQ(decisionSourceName(DecisionSource::Primary),
+                 "primary");
+    EXPECT_STREQ(decisionSourceName(DecisionSource::Backup),
+                 "backup");
+}
+
+TEST(InitialConsent, ConsentsFromProcessStart)
+{
+    const ShutdownDecision decision = initialConsent(secondsUs(5));
+    EXPECT_EQ(decision.earliest, secondsUs(5));
+    EXPECT_EQ(decision.source, DecisionSource::None);
+}
+
+TEST(TimeoutPredictor, SchedulesTimerAfterEveryIo)
+{
+    TimeoutPredictor tp(secondsUs(10));
+    const ShutdownDecision d1 = tp.onIo(io(secondsUs(1), -1));
+    EXPECT_EQ(d1.earliest, secondsUs(11));
+    EXPECT_EQ(d1.source, DecisionSource::Primary);
+
+    const ShutdownDecision d2 = tp.onIo(io(secondsUs(4), 3));
+    EXPECT_EQ(d2.earliest, secondsUs(14));
+    EXPECT_EQ(tp.decision(), d2);
+}
+
+TEST(TimeoutPredictor, ResetRestoresInitialConsent)
+{
+    TimeoutPredictor tp(secondsUs(10), secondsUs(2));
+    tp.onIo(io(secondsUs(5), -1));
+    tp.resetExecution();
+    EXPECT_EQ(tp.decision(), initialConsent(secondsUs(2)));
+}
+
+TEST(TimeoutPredictor, NameAndTimeout)
+{
+    TimeoutPredictor tp(secondsUs(7));
+    EXPECT_STREQ(tp.name(), "TP");
+    EXPECT_EQ(tp.timeout(), secondsUs(7));
+}
+
+TEST(TimeoutPredictorDeath, NonPositiveTimeoutIsFatal)
+{
+    EXPECT_DEATH(TimeoutPredictor(0), "positive");
+}
+
+// ---- Learning Tree -------------------------------------------------
+
+LtConfig
+ltConfig()
+{
+    LtConfig config;
+    config.historyLength = 4;
+    config.minTrainings = 2;
+    return config;
+}
+
+TEST(LtTree, UntrainedPredictsNothing)
+{
+    LtTree tree(ltConfig());
+    EXPECT_FALSE(tree.predict(0b1010, 4).has_value());
+    EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(LtTree, LearnsLongAfterPattern)
+{
+    LtTree tree(ltConfig());
+    // History 0b01 (short then long... bit0 = most recent) is
+    // followed by a long period, twice.
+    tree.train(0b01, 2, true);
+    tree.train(0b01, 2, true);
+    const auto prediction = tree.predict(0b01, 2);
+    ASSERT_TRUE(prediction.has_value());
+    EXPECT_TRUE(*prediction);
+}
+
+TEST(LtTree, LearnsShortAfterPattern)
+{
+    LtTree tree(ltConfig());
+    tree.train(0b11, 2, false);
+    tree.train(0b11, 2, false);
+    const auto prediction = tree.predict(0b11, 2);
+    ASSERT_TRUE(prediction.has_value());
+    EXPECT_FALSE(*prediction);
+}
+
+TEST(LtTree, MinTrainingsGatesPrediction)
+{
+    LtTree tree(ltConfig());
+    tree.train(0b01, 2, true);
+    EXPECT_FALSE(tree.predict(0b01, 2).has_value());
+}
+
+TEST(LtTree, LongestTrainedSuffixWins)
+{
+    LtTree tree(ltConfig());
+    // Two length-2 contexts sharing their most-recent bit but with
+    // opposite outcomes: only the longer context can tell them
+    // apart (the shared length-1 suffix node sees both outcomes and
+    // stays unsure).
+    for (int i = 0; i < 3; ++i)
+        tree.train(0b11, 2, true);
+    for (int i = 0; i < 3; ++i)
+        tree.train(0b01, 2, false);
+
+    const auto long_ctx = tree.predict(0b11, 2);
+    ASSERT_TRUE(long_ctx.has_value());
+    EXPECT_TRUE(*long_ctx);
+
+    const auto short_ctx = tree.predict(0b01, 2);
+    ASSERT_TRUE(short_ctx.has_value());
+    EXPECT_FALSE(*short_ctx);
+
+    // A context with an untrained long suffix AND an untrained
+    // length-1 suffix yields no prediction at all.
+    EXPECT_FALSE(tree.predict(0b10, 2).has_value());
+}
+
+TEST(LtTree, CounterAdaptsToChangedBehaviour)
+{
+    LtTree tree(ltConfig());
+    for (int i = 0; i < 4; ++i)
+        tree.train(0b1, 1, true);
+    ASSERT_TRUE(*tree.predict(0b1, 1));
+    // Behaviour flips: enough short observations flip the counter.
+    for (int i = 0; i < 4; ++i)
+        tree.train(0b1, 1, false);
+    EXPECT_FALSE(*tree.predict(0b1, 1));
+}
+
+TEST(LtTree, ClearForgets)
+{
+    LtTree tree(ltConfig());
+    tree.train(0b1, 1, true);
+    tree.train(0b1, 1, true);
+    tree.clear();
+    EXPECT_EQ(tree.size(), 0u);
+    EXPECT_FALSE(tree.predict(0b1, 1).has_value());
+}
+
+TEST(LtTree, SizeCountsSuffixNodes)
+{
+    LtTree tree(ltConfig());
+    tree.train(0b0110, 4, true);
+    // One node per suffix length 1..4.
+    EXPECT_EQ(tree.size(), 4u);
+}
+
+TEST(LtPredictor, SubWaitWindowGapsAreFiltered)
+{
+    const LtConfig config = ltConfig();
+    auto tree = std::make_shared<LtTree>(config);
+    LtPredictor predictor(config, tree);
+
+    predictor.onIo(io(secondsUs(1), -1));
+    predictor.onIo(io(secondsUs(1) + millisUs(200), millisUs(200)));
+    EXPECT_EQ(predictor.historyLength(), 0);
+    EXPECT_EQ(tree->size(), 0u);
+}
+
+TEST(LtPredictor, RecordsIdleClassesInHistory)
+{
+    const LtConfig config = ltConfig();
+    auto tree = std::make_shared<LtTree>(config);
+    LtPredictor predictor(config, tree);
+
+    predictor.onIo(io(secondsUs(0), -1));
+    predictor.onIo(io(secondsUs(2), secondsUs(2)));   // medium -> 0
+    predictor.onIo(io(secondsUs(12), secondsUs(10))); // long -> 1
+    EXPECT_EQ(predictor.historyLength(), 2);
+    EXPECT_EQ(predictor.historyBits() & 0b11u, 0b01u);
+}
+
+TEST(LtPredictor, BacksUpToTimeoutWhileTraining)
+{
+    const LtConfig config = ltConfig();
+    auto tree = std::make_shared<LtTree>(config);
+    LtPredictor predictor(config, tree);
+
+    const ShutdownDecision decision =
+        predictor.onIo(io(secondsUs(1), -1));
+    EXPECT_EQ(decision.source, DecisionSource::Backup);
+    EXPECT_EQ(decision.earliest, secondsUs(1) + config.timeout);
+}
+
+TEST(LtPredictor, PredictsPrimaryOnceTrained)
+{
+    const LtConfig config = ltConfig();
+    auto tree = std::make_shared<LtTree>(config);
+    LtPredictor predictor(config, tree);
+
+    // Two periods of "long idle after a long idle".
+    predictor.onIo(io(secondsUs(0), -1));
+    predictor.onIo(io(secondsUs(10), secondsUs(10)));
+    predictor.onIo(io(secondsUs(20), secondsUs(10)));
+    const ShutdownDecision decision =
+        predictor.onIo(io(secondsUs(30), secondsUs(10)));
+    EXPECT_EQ(decision.source, DecisionSource::Primary);
+    EXPECT_EQ(decision.earliest, secondsUs(30) + config.waitWindow);
+}
+
+TEST(LtPredictor, DisabledBackupYieldsNever)
+{
+    LtConfig config = ltConfig();
+    config.backupEnabled = false;
+    auto tree = std::make_shared<LtTree>(config);
+    LtPredictor predictor(config, tree);
+    const ShutdownDecision decision =
+        predictor.onIo(io(secondsUs(1), -1));
+    EXPECT_EQ(decision.earliest, kTimeNever);
+    EXPECT_EQ(decision.source, DecisionSource::None);
+}
+
+TEST(LtPredictor, ResetClearsHistoryButKeepsTree)
+{
+    const LtConfig config = ltConfig();
+    auto tree = std::make_shared<LtTree>(config);
+    LtPredictor predictor(config, tree);
+
+    predictor.onIo(io(secondsUs(0), -1));
+    predictor.onIo(io(secondsUs(10), secondsUs(10)));
+    predictor.onIo(io(secondsUs(20), secondsUs(10)));
+    const std::size_t trained = tree->size();
+    EXPECT_GT(trained, 0u);
+
+    predictor.resetExecution();
+    EXPECT_EQ(predictor.historyLength(), 0);
+    EXPECT_EQ(tree->size(), trained); // table reuse
+}
+
+TEST(LtPredictorDeath, NullTreeIsFatal)
+{
+    EXPECT_DEATH(LtPredictor(ltConfig(), nullptr), "null");
+}
+
+TEST(LtTreeDeath, BadHistoryLengthIsFatal)
+{
+    LtConfig config;
+    config.historyLength = 0;
+    EXPECT_DEATH(LtTree tree(config), "history length");
+    config.historyLength = 17;
+    EXPECT_DEATH(LtTree tree(config), "history length");
+}
+
+} // namespace
+} // namespace pcap::pred

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests of the Section 2 related-work predictors: exponential
+ * average (EA), busy-period heuristic (SB) and adaptive timeout
+ * (ATP).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pred/adaptive_timeout.hpp"
+#include "pred/busy_ratio.hpp"
+#include "pred/exp_average.hpp"
+
+namespace pcap::pred {
+namespace {
+
+IoContext
+io(TimeUs time, TimeUs since_prev)
+{
+    IoContext ctx;
+    ctx.time = time;
+    ctx.sincePrev = since_prev;
+    ctx.pc = 0x1000;
+    return ctx;
+}
+
+// ---- Exponential average (Hwang & Wu) -------------------------------
+
+TEST(ExpAverage, StartsPessimisticAndBacksUp)
+{
+    ExpAveragePredictor ea(ExpAverageConfig{});
+    const ShutdownDecision decision = ea.onIo(io(secondsUs(1), -1));
+    EXPECT_EQ(decision.source, DecisionSource::Backup);
+    EXPECT_EQ(ea.predictedIdle(), 0);
+}
+
+TEST(ExpAverage, EstimateConverges)
+{
+    ExpAverageConfig config;
+    config.alpha = 0.5;
+    ExpAveragePredictor ea(config);
+
+    ea.onIo(io(secondsUs(0), -1));
+    ea.onIo(io(secondsUs(20), secondsUs(20)));
+    EXPECT_EQ(ea.predictedIdle(), secondsUs(10)); // 0.5 * 20
+    ea.onIo(io(secondsUs(40), secondsUs(20)));
+    EXPECT_EQ(ea.predictedIdle(), secondsUs(15)); // 10 + 0.5*(20-10)
+}
+
+TEST(ExpAverage, PredictsOnceEstimateExceedsBreakeven)
+{
+    ExpAveragePredictor ea(ExpAverageConfig{});
+    ea.onIo(io(secondsUs(0), -1));
+    const ShutdownDecision d1 =
+        ea.onIo(io(secondsUs(20), secondsUs(20)));
+    // Estimate 10 s > 5.43 s: primary prediction.
+    EXPECT_EQ(d1.source, DecisionSource::Primary);
+    EXPECT_EQ(d1.earliest, secondsUs(21));
+}
+
+TEST(ExpAverage, ShortPeriodsDragTheEstimateDown)
+{
+    ExpAveragePredictor ea(ExpAverageConfig{});
+    ea.onIo(io(secondsUs(0), -1));
+    ea.onIo(io(secondsUs(30), secondsUs(30))); // estimate 15 s
+    // A run of 2 s periods halves the estimate repeatedly.
+    TimeUs now = secondsUs(30);
+    ShutdownDecision decision;
+    for (int i = 0; i < 4; ++i) {
+        now += secondsUs(2);
+        decision = ea.onIo(io(now, secondsUs(2)));
+    }
+    EXPECT_EQ(decision.source, DecisionSource::Backup);
+    EXPECT_LT(ea.predictedIdle(), secondsUs(5.43));
+}
+
+TEST(ExpAverage, SubWaitWindowPeriodsAreFiltered)
+{
+    ExpAveragePredictor ea(ExpAverageConfig{});
+    ea.onIo(io(secondsUs(0), -1));
+    ea.onIo(io(secondsUs(20), secondsUs(20)));
+    const TimeUs estimate = ea.predictedIdle();
+    ea.onIo(io(secondsUs(20) + millisUs(100), millisUs(100)));
+    EXPECT_EQ(ea.predictedIdle(), estimate);
+}
+
+TEST(ExpAverage, ResetForgetsTheEstimate)
+{
+    ExpAveragePredictor ea(ExpAverageConfig{}, secondsUs(2));
+    ea.onIo(io(secondsUs(0), -1));
+    ea.onIo(io(secondsUs(20), secondsUs(20)));
+    ea.resetExecution();
+    EXPECT_EQ(ea.predictedIdle(), 0);
+    EXPECT_EQ(ea.decision(), initialConsent(secondsUs(2)));
+}
+
+TEST(ExpAverageDeath, AlphaOutOfRangeIsFatal)
+{
+    ExpAverageConfig config;
+    config.alpha = 1.5;
+    EXPECT_DEATH(ExpAveragePredictor ea(config), "alpha");
+}
+
+// ---- Busy-period heuristic (Srivastava et al.) -----------------------
+
+TEST(BusyRatio, ShortBurstPredictsLongIdle)
+{
+    BusyRatioPredictor sb(BusyRatioConfig{});
+    const ShutdownDecision decision = sb.onIo(io(secondsUs(1), -1));
+    // A single access is a zero-length busy period: predict.
+    EXPECT_EQ(decision.source, DecisionSource::Primary);
+    EXPECT_EQ(decision.earliest, secondsUs(2));
+}
+
+TEST(BusyRatio, LongBurstDefersToBackup)
+{
+    BusyRatioConfig config;
+    config.busyThreshold = secondsUs(2.0);
+    BusyRatioPredictor sb(config);
+
+    TimeUs now = secondsUs(1);
+    ShutdownDecision decision = sb.onIo(io(now, -1));
+    // A burst of accesses 0.5 s apart accumulates busy time.
+    for (int i = 0; i < 6; ++i) {
+        now += millisUs(500);
+        decision = sb.onIo(io(now, millisUs(500)));
+    }
+    EXPECT_GT(sb.currentBusyLength(), config.busyThreshold);
+    EXPECT_EQ(decision.source, DecisionSource::Backup);
+}
+
+TEST(BusyRatio, IdleGapStartsANewBusyPeriod)
+{
+    BusyRatioPredictor sb(BusyRatioConfig{});
+    TimeUs now = secondsUs(1);
+    sb.onIo(io(now, -1));
+    for (int i = 0; i < 6; ++i) {
+        now += millisUs(500);
+        sb.onIo(io(now, millisUs(500)));
+    }
+    // After a 10 s gap the busy period restarts at zero.
+    now += secondsUs(10);
+    const ShutdownDecision decision =
+        sb.onIo(io(now, secondsUs(10)));
+    EXPECT_EQ(sb.currentBusyLength(), 0);
+    EXPECT_EQ(decision.source, DecisionSource::Primary);
+}
+
+TEST(BusyRatio, ResetRestartsTheBusyPeriod)
+{
+    BusyRatioPredictor sb(BusyRatioConfig{});
+    sb.onIo(io(secondsUs(1), -1));
+    sb.onIo(io(secondsUs(1.5), millisUs(500)));
+    sb.resetExecution();
+    EXPECT_EQ(sb.currentBusyLength(), 0);
+}
+
+// ---- Adaptive timeout (Douglis / Golding) ----------------------------
+
+TEST(AdaptiveTimeout, StartsAtInitialValue)
+{
+    AdaptiveTimeoutPredictor atp(AdaptiveTimeoutConfig{});
+    EXPECT_EQ(atp.currentTimeout(), secondsUs(10));
+    const ShutdownDecision decision =
+        atp.onIo(io(secondsUs(1), -1));
+    EXPECT_EQ(decision.earliest, secondsUs(11));
+    EXPECT_EQ(decision.source, DecisionSource::Primary);
+}
+
+TEST(AdaptiveTimeout, CorrectShutdownShrinksTheTimer)
+{
+    AdaptiveTimeoutPredictor atp(AdaptiveTimeoutConfig{});
+    atp.onIo(io(secondsUs(0), -1));
+    // 30 s idle: the 10 s timer fired and the disk slept 20 s — a
+    // correct decision, so the timer shrinks by the factor 0.9.
+    atp.onIo(io(secondsUs(30), secondsUs(30)));
+    EXPECT_EQ(atp.currentTimeout(), secondsUs(9));
+}
+
+TEST(AdaptiveTimeout, PrematureShutdownGrowsTheTimer)
+{
+    AdaptiveTimeoutPredictor atp(AdaptiveTimeoutConfig{});
+    atp.onIo(io(secondsUs(0), -1));
+    // 12 s idle: the timer fired at 10 s but the disk was woken 2 s
+    // later — premature, so the timer grows by the factor 1.6.
+    atp.onIo(io(secondsUs(12), secondsUs(12)));
+    EXPECT_EQ(atp.currentTimeout(), secondsUs(16));
+}
+
+TEST(AdaptiveTimeout, UnexpiredTimerLeavesTheValueAlone)
+{
+    AdaptiveTimeoutPredictor atp(AdaptiveTimeoutConfig{});
+    atp.onIo(io(secondsUs(0), -1));
+    atp.onIo(io(secondsUs(4), secondsUs(4))); // timer never fired
+    EXPECT_EQ(atp.currentTimeout(), secondsUs(10));
+}
+
+TEST(AdaptiveTimeout, ClampsAtTheBounds)
+{
+    AdaptiveTimeoutConfig config;
+    config.minTimeout = secondsUs(8.0);
+    config.maxTimeout = secondsUs(12.0);
+    AdaptiveTimeoutPredictor atp(config);
+
+    TimeUs now = 0;
+    atp.onIo(io(now, -1));
+    for (int i = 0; i < 10; ++i) {
+        now += secondsUs(100);
+        atp.onIo(io(now, secondsUs(100)));
+    }
+    EXPECT_EQ(atp.currentTimeout(), secondsUs(8.0)); // min clamp
+
+    for (int i = 0; i < 10; ++i) {
+        now += secondsUs(9);
+        atp.onIo(io(now, secondsUs(9)));
+    }
+    EXPECT_EQ(atp.currentTimeout(), secondsUs(12.0)); // max clamp
+}
+
+TEST(AdaptiveTimeout, ResetRestoresInitialTimeout)
+{
+    AdaptiveTimeoutPredictor atp(AdaptiveTimeoutConfig{});
+    atp.onIo(io(secondsUs(0), -1));
+    atp.onIo(io(secondsUs(30), secondsUs(30)));
+    atp.resetExecution();
+    EXPECT_EQ(atp.currentTimeout(), secondsUs(10));
+}
+
+TEST(AdaptiveTimeoutDeath, BadBoundsAreFatal)
+{
+    AdaptiveTimeoutConfig config;
+    config.minTimeout = secondsUs(20);
+    config.maxTimeout = secondsUs(10);
+    EXPECT_DEATH(AdaptiveTimeoutPredictor atp(config), "bounds");
+}
+
+} // namespace
+} // namespace pcap::pred

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests of the modified-strace log parser: the adoption path for
+ * real traces collected the way the paper's Section 6 describes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/strace_parse.hpp"
+
+namespace pcap::trace {
+namespace {
+
+TEST(StraceParse, ParsesAnAnnotatedSession)
+{
+    const std::string log =
+        "# a modified-strace session\n"
+        "100 1.000000 open(\"/etc/conf\", O_RDONLY) = 3 "
+        "[pc=0x8048010] [file=42]\n"
+        "100 1.100000 read(3, ..., 4096) = 4096 [pc=0x8048020] "
+        "[file=42] [off=0]\n"
+        "100 1.200000 read(3, ..., 4096) = 4096 [pc=0x8048020] "
+        "[file=42] [off=4096]\n"
+        "100 1.300000 close(3) = 0 [pc=0x8048030]\n"
+        "100 2.000000 fork() = 101\n"
+        "101 2.500000 write(4, ..., 512) = 512 [pc=0x8048040] "
+        "[file=43] [off=0]\n"
+        "101 3.000000 exit(0) = ?\n"
+        "100 9.000000 exit_group(0) = ?\n";
+
+    std::string error;
+    const StraceParseResult result =
+        parseStraceText(log, "traced-app", 3, error);
+    ASSERT_EQ(error, "");
+    EXPECT_EQ(result.linesParsed, 8u);
+    EXPECT_EQ(result.linesSkipped, 0u);
+    EXPECT_TRUE(result.warnings.empty());
+
+    const Trace &trace = result.trace;
+    EXPECT_EQ(trace.app(), "traced-app");
+    EXPECT_EQ(trace.execution(), 3);
+    EXPECT_EQ(trace.validate(), "");
+    EXPECT_EQ(trace.ioCount(), 4u); // open + 2 reads + write
+
+    const TraceEvent &open = trace.events()[0];
+    EXPECT_EQ(open.type, EventType::Open);
+    EXPECT_EQ(open.pid, 100);
+    EXPECT_EQ(open.time, secondsUs(1.0));
+    EXPECT_EQ(open.fd, 3); // from the return value
+    EXPECT_EQ(open.pc, 0x8048010u);
+    EXPECT_EQ(open.file, 42u);
+
+    const TraceEvent &read = trace.events()[1];
+    EXPECT_EQ(read.type, EventType::Read);
+    EXPECT_EQ(read.fd, 3); // from the first argument
+    EXPECT_EQ(read.size, 4096u);
+    EXPECT_EQ(trace.events()[2].offset, 4096u);
+
+    const TraceEvent &fork = trace.events()[4];
+    EXPECT_EQ(fork.type, EventType::Fork);
+    EXPECT_EQ(fork.fd, 101); // the child pid
+}
+
+TEST(StraceParse, SkipsUnknownSyscalls)
+{
+    const std::string log =
+        "100 1.0 gettimeofday(...) = 0\n"
+        "100 1.1 mmap(NULL, 4096, ...) = 0xb7000000\n"
+        "100 1.2 read(3, ..., 100) = 100 [pc=0x1000]\n"
+        "100 2.0 exit(0) = ?\n";
+    std::string error;
+    const StraceParseResult result =
+        parseStraceText(log, "app", 0, error);
+    ASSERT_EQ(error, "");
+    EXPECT_EQ(result.linesSkipped, 2u);
+    EXPECT_EQ(result.trace.ioCount(), 1u);
+}
+
+TEST(StraceParse, WarnsOnIoWithoutPc)
+{
+    const std::string log = "100 1.0 read(3, ..., 8) = 8\n"
+                            "100 2.0 exit(0) = ?\n";
+    std::string error;
+    const StraceParseResult result =
+        parseStraceText(log, "app", 0, error);
+    ASSERT_EQ(error, "");
+    ASSERT_EQ(result.warnings.size(), 1u);
+    EXPECT_NE(result.warnings[0].find("without a pc"),
+              std::string::npos);
+}
+
+TEST(StraceParse, RejectsGarbagePid)
+{
+    std::string error;
+    parseStraceText("oops 1.0 read(3) = 1\n", "app", 0, error);
+    EXPECT_NE(error.find("bad pid"), std::string::npos);
+}
+
+TEST(StraceParse, RejectsBadTimestamp)
+{
+    std::string error;
+    parseStraceText("100 yesterday read(3) = 1\n", "app", 0, error);
+    EXPECT_NE(error.find("bad timestamp"), std::string::npos);
+}
+
+TEST(StraceParse, RejectsLineWithoutSyscall)
+{
+    std::string error;
+    parseStraceText("100 1.0 whatever\n", "app", 0, error);
+    EXPECT_NE(error.find("syscall"), std::string::npos);
+}
+
+TEST(StraceParse, FractionalTimestampsBecomeMicroseconds)
+{
+    const std::string log =
+        "100 12.345678 read(3, ..., 1) = 1 [pc=0x1]\n"
+        "100 13.0 exit(0) = ?\n";
+    std::string error;
+    const StraceParseResult result =
+        parseStraceText(log, "app", 0, error);
+    ASSERT_EQ(error, "");
+    EXPECT_EQ(result.trace.events()[0].time, 12'345'678);
+}
+
+TEST(StraceParse, SkipsForkWithoutChildPid)
+{
+    const std::string log = "100 1.0 fork() = -1\n"
+                            "100 2.0 exit(0) = ?\n";
+    std::string error;
+    const StraceParseResult result =
+        parseStraceText(log, "app", 0, error);
+    ASSERT_EQ(error, "");
+    EXPECT_EQ(result.linesSkipped, 1u);
+    EXPECT_EQ(result.warnings.size(), 1u);
+}
+
+TEST(StraceParse, OutOfOrderLinesAreSorted)
+{
+    const std::string log =
+        "101 3.0 read(3, ..., 1) = 1 [pc=0x2]\n"
+        "100 1.0 fork() = 101\n"
+        "100 5.0 exit(0) = ?\n"
+        "101 4.0 exit(0) = ?\n";
+    std::string error;
+    const StraceParseResult result =
+        parseStraceText(log, "app", 0, error);
+    ASSERT_EQ(error, "");
+    EXPECT_EQ(result.trace.events().front().time, secondsUs(1.0));
+    EXPECT_EQ(result.trace.validate(), "");
+}
+
+} // namespace
+} // namespace pcap::trace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Prediction-table persistence tests (Section 4.2's initialization
+ * files).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/table_store.hpp"
+
+namespace pcap::core {
+namespace {
+
+class TableStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = (std::filesystem::temp_directory_path() /
+                "pcap_table_store_test")
+                   .string();
+        std::filesystem::remove_all(dir_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string dir_;
+};
+
+TableKey
+key(std::uint32_t signature)
+{
+    TableKey k;
+    k.signature = signature;
+    return k;
+}
+
+TEST_F(TableStoreTest, SaveThenLoadRoundTrips)
+{
+    TableStore store(dir_);
+    PredictionTable table;
+    table.train(key(1));
+    table.train(key(2));
+    ASSERT_EQ(store.save("mozilla", "PCAP", table), "");
+
+    PredictionTable loaded;
+    bool found = false;
+    ASSERT_EQ(store.load("mozilla", "PCAP", loaded, found), "");
+    EXPECT_TRUE(found);
+    EXPECT_EQ(loaded.size(), 2u);
+    EXPECT_TRUE(loaded.contains(key(1)));
+}
+
+TEST_F(TableStoreTest, MissingTableIsNotAnError)
+{
+    TableStore store(dir_);
+    PredictionTable loaded;
+    bool found = true;
+    EXPECT_EQ(store.load("nedit", "PCAP", loaded, found), "");
+    EXPECT_FALSE(found);
+}
+
+TEST_F(TableStoreTest, VariantsAreSeparateFiles)
+{
+    TableStore store(dir_);
+    PredictionTable base, history;
+    base.train(key(1));
+    history.train(key(2));
+    ASSERT_EQ(store.save("writer", "PCAP", base), "");
+    ASSERT_EQ(store.save("writer", "PCAPh", history), "");
+
+    PredictionTable loaded;
+    bool found = false;
+    ASSERT_EQ(store.load("writer", "PCAPh", loaded, found), "");
+    ASSERT_TRUE(found);
+    EXPECT_TRUE(loaded.contains(key(2)));
+    EXPECT_FALSE(loaded.contains(key(1)));
+}
+
+TEST_F(TableStoreTest, SaveOverwritesPreviousTable)
+{
+    TableStore store(dir_);
+    PredictionTable first, second;
+    first.train(key(1));
+    second.train(key(2));
+    ASSERT_EQ(store.save("app", "PCAP", first), "");
+    ASSERT_EQ(store.save("app", "PCAP", second), "");
+
+    PredictionTable loaded;
+    bool found = false;
+    ASSERT_EQ(store.load("app", "PCAP", loaded, found), "");
+    ASSERT_TRUE(found);
+    EXPECT_EQ(loaded.size(), 1u);
+    EXPECT_TRUE(loaded.contains(key(2)));
+}
+
+TEST_F(TableStoreTest, RemoveDeletesTheFile)
+{
+    TableStore store(dir_);
+    PredictionTable table;
+    table.train(key(1));
+    ASSERT_EQ(store.save("app", "PCAP", table), "");
+    EXPECT_TRUE(store.remove("app", "PCAP"));
+    EXPECT_FALSE(store.remove("app", "PCAP"));
+
+    PredictionTable loaded;
+    bool found = true;
+    ASSERT_EQ(store.load("app", "PCAP", loaded, found), "");
+    EXPECT_FALSE(found);
+}
+
+TEST_F(TableStoreTest, PathForIsStable)
+{
+    TableStore store(dir_);
+    EXPECT_EQ(store.pathFor("app", "PCAPfh"),
+              dir_ + "/app.PCAPfh.ptab");
+}
+
+} // namespace
+} // namespace pcap::core

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Unit tests for the util substrate: deterministic RNG, saturating
+ * counters, statistics accumulators, table formatting and the time
+ * helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/counter.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/types.hpp"
+
+namespace pcap {
+namespace {
+
+TEST(Types, SecondConversionsRoundTrip)
+{
+    EXPECT_EQ(secondsUs(1.0), 1'000'000);
+    EXPECT_EQ(secondsUs(5.43), 5'430'000);
+    EXPECT_EQ(millisUs(2.5), 2'500);
+    EXPECT_DOUBLE_EQ(usToSeconds(secondsUs(12.75)), 12.75);
+}
+
+TEST(Types, NeverIsLaterThanAnyTime)
+{
+    EXPECT_GT(kTimeNever, secondsUs(1e12));
+}
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformInt(-3, 12);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 12);
+    }
+}
+
+TEST(Rng, UniformIntCoversFullRange)
+{
+    Rng rng(8);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(0, 7));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntDegenerateRange)
+{
+    Rng rng(9);
+    EXPECT_EQ(rng.uniformInt(42, 42), 42);
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval)
+{
+    Rng rng(10);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform01();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, Uniform01MeanNearHalf)
+{
+    Rng rng(11);
+    double total = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total += rng.uniform01();
+    EXPECT_NEAR(total / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(12);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-3.0));
+        EXPECT_TRUE(rng.chance(2.0));
+    }
+}
+
+TEST(Rng, ChanceFrequencyTracksProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(14);
+    double total = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        total += rng.exponential(4.0);
+    EXPECT_NEAR(total / n, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialIsPositive)
+{
+    Rng rng(15);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_GT(rng.exponential(0.001), 0.0);
+}
+
+TEST(Rng, LogNormalMedianMatches)
+{
+    Rng rng(16);
+    std::vector<double> samples;
+    for (int i = 0; i < 20001; ++i)
+        samples.push_back(rng.logNormal(10.0, 1.0));
+    std::sort(samples.begin(), samples.end());
+    // Median of a log-normal equals the median parameter.
+    EXPECT_NEAR(samples[samples.size() / 2], 10.0, 0.6);
+}
+
+TEST(Rng, WeightedChoiceRespectsWeights)
+{
+    Rng rng(17);
+    int counts[3] = {0, 0, 0};
+    const int n = 30000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.weightedChoice({1.0, 2.0, 7.0})];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.02);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(Rng, WeightedChoiceZeroWeightNeverPicked)
+{
+    Rng rng(18);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_NE(rng.weightedChoice({1.0, 0.0, 1.0}), 1u);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(19);
+    Rng childA = parent.fork(1);
+    Rng childB = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += childA.next() == childB.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsDeterministicGivenParentState)
+{
+    Rng p1(20), p2(20);
+    Rng c1 = p1.fork(9);
+    Rng c2 = p2.fork(9);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(c1.next(), c2.next());
+}
+
+TEST(HashString, StableAndDiscriminating)
+{
+    EXPECT_EQ(hashString("mozilla"), hashString("mozilla"));
+    EXPECT_NE(hashString("mozilla"), hashString("writer"));
+    EXPECT_NE(hashString(""), hashString(" "));
+}
+
+TEST(SaturatingCounter, SaturatesAtBothEnds)
+{
+    SaturatingCounter counter(3);
+    EXPECT_EQ(counter.value(), 0);
+    counter.decrement();
+    EXPECT_EQ(counter.value(), 0);
+    for (int i = 0; i < 10; ++i)
+        counter.increment();
+    EXPECT_EQ(counter.value(), 3);
+    EXPECT_TRUE(counter.isSaturated());
+}
+
+TEST(SaturatingCounter, ConfidenceIsUpperHalf)
+{
+    SaturatingCounter counter(3);
+    EXPECT_FALSE(counter.isConfident()); // 0
+    counter.increment();
+    EXPECT_FALSE(counter.isConfident()); // 1
+    counter.increment();
+    EXPECT_TRUE(counter.isConfident()); // 2
+    counter.increment();
+    EXPECT_TRUE(counter.isConfident()); // 3
+}
+
+TEST(SaturatingCounter, InitialValueClamped)
+{
+    SaturatingCounter counter(3, 200);
+    EXPECT_EQ(counter.value(), 3);
+}
+
+TEST(SaturatingCounter, ResetReturnsToZero)
+{
+    SaturatingCounter counter(7, 5);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 0.0);
+}
+
+TEST(RunningStat, TracksMeanMinMax)
+{
+    RunningStat stat;
+    stat.add(2.0);
+    stat.add(-4.0);
+    stat.add(8.0);
+    EXPECT_EQ(stat.count(), 3u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.min(), -4.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 8.0);
+    EXPECT_DOUBLE_EQ(stat.sum(), 6.0);
+}
+
+TEST(SampleSet, PercentilesExact)
+{
+    SampleSet set;
+    for (int i = 1; i <= 100; ++i)
+        set.add(i);
+    EXPECT_DOUBLE_EQ(set.percentile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(set.percentile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(set.percentile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(set.percentile(0.0), 1.0);
+}
+
+TEST(SampleSet, FractionInHalfOpenRange)
+{
+    SampleSet set;
+    for (int i = 0; i < 10; ++i)
+        set.add(i);
+    EXPECT_DOUBLE_EQ(set.fractionIn(0.0, 5.0), 0.5);
+    EXPECT_DOUBLE_EQ(set.fractionIn(5.0, 100.0), 0.5);
+    EXPECT_DOUBLE_EQ(set.fractionIn(100.0, 200.0), 0.0);
+}
+
+TEST(TextTable, AlignsColumnsAndUnderlinesHeader)
+{
+    TextTable table;
+    table.setHeader({"a", "bbbb"});
+    table.addRow({"cccc", "d"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("a     bbbb"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_NE(out.find("cccc  d"), std::string::npos);
+}
+
+TEST(TextTable, HeaderInsertedBeforeExistingRows)
+{
+    TextTable table;
+    table.addRow({"row"});
+    table.setHeader({"head"});
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_LT(os.str().find("head"), os.str().find("row"));
+}
+
+TEST(Formatting, PercentAndFixedStrings)
+{
+    EXPECT_EQ(percentString(0.7634), "76.3%");
+    EXPECT_EQ(percentString(0.7634, 2), "76.34%");
+    EXPECT_EQ(fixedString(5.4321, 2), "5.43");
+}
+
+} // namespace
+} // namespace pcap

@@ -1,0 +1,90 @@
+// Diagnostic: dump global mispredictions with attributed process/pc.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <algorithm>
+
+#include "core/global.hpp"
+#include "sim/experiment.hpp"
+
+using namespace pcap;
+
+int main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "writer";
+    sim::ExperimentConfig cfg;
+    sim::Evaluation eval(cfg);
+    const auto &execs = eval.inputs(app);
+    sim::SimParams sp;
+    const TimeUs be = sp.breakeven();
+    sim::PolicySession session(sim::PolicyConfig::pcapBase());
+
+    std::map<std::string, int> agg;
+    int misses = 0, opps = 0;
+
+    for (const auto &input : execs) {
+        session.beginExecution();
+        core::GlobalShutdownPredictor gsp(
+            [&](Pid p, TimeUs t) { return session.makeLocal(p, t); });
+        struct Ev { TimeUs t; int kind; Pid pid; size_t idx; };
+        std::vector<Ev> events;
+        for (auto &s : input.processes) {
+            events.push_back({s.start, 0, s.pid, 0});
+            events.push_back({s.end, 2, s.pid, 0});
+        }
+        for (size_t i = 0; i < input.accesses.size(); ++i)
+            events.push_back({input.accesses[i].time, 1, input.accesses[i].pid, i});
+        std::sort(events.begin(), events.end(), [](auto&a, auto&b){
+            return a.t != b.t ? a.t < b.t : a.kind < b.kind; });
+
+        TimeUs gapStart = -1, segStart = -1, shutAt = -1;
+        Pid lastPid = -1; Address lastPc = 0;
+        std::map<Pid, Address> lastPcOf;
+        Pid shutPid = -1;
+
+        auto check = [&](TimeUs until) {
+            if (gapStart < 0 || shutAt >= 0) { segStart = until; return; }
+            auto d = gsp.globalDecision();
+            if (d.earliest != kTimeNever) {
+                TimeUs cand = std::max(d.earliest, segStart);
+                if (cand < until) { shutAt = cand; shutPid = lastPid; }
+            }
+            segStart = until;
+        };
+        for (auto &e : events) {
+            check(e.t);
+            if (e.kind == 0) gsp.processStart(e.pid, e.t);
+            else if (e.kind == 2) gsp.processExit(e.pid, e.t);
+            else {
+                const auto &a = input.accesses[e.idx];
+                if (gapStart >= 0) {
+                    TimeUs gap = a.time - gapStart;
+                    bool opp = gap > be;
+                    if (opp) opps++;
+                    if (shutAt >= 0) {
+                        TimeUs off = a.time - shutAt;
+                        if (!(opp && off >= be)) {
+                            misses++;
+                            char buf[160];
+                            const char* bucket = gap < secondsUs(1.5) ? "<1.5" :
+                                gap < secondsUs(3) ? "1.5-3" : gap < secondsUs(5.43) ? "3-5.4" :
+                                gap < secondsUs(6.43) ? "5.4-6.4" : ">6.4";
+                            snprintf(buf, sizeof buf, "lastpid=%d lastPc=0x%x waker=%d wakerPc=0x%x gap%s",
+                                     lastPid, lastPc, a.pid, a.pc, bucket);
+                            agg[buf]++;
+                        }
+                    }
+                }
+                gsp.onAccess(a);
+                gapStart = a.time; segStart = a.time; shutAt = -1;
+                lastPid = a.pid; lastPc = a.pc;
+            }
+        }
+    }
+    printf("app=%s global opps=%d misses=%d\n", app.c_str(), opps, misses);
+    std::vector<std::pair<int,std::string>> v;
+    for (auto &[k,c]: agg) v.push_back({c,k});
+    std::sort(v.rbegin(), v.rend());
+    for (auto &[c,k] : v) if (c >= 3) printf("%6d  %s\n", c, k.c_str());
+    return 0;
+}

@@ -1,0 +1,81 @@
+// Diagnostic: dump PCAP local mispredictions with context.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/pcap.hpp"
+#include "sim/experiment.hpp"
+
+using namespace pcap;
+
+int main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "mozilla";
+    sim::ExperimentConfig cfg;
+    sim::Evaluation eval(cfg);
+    const auto &execs = eval.inputs(app);
+    sim::SimParams sp;
+    const TimeUs be = sp.breakeven();
+
+    auto table = std::make_shared<core::PredictionTable>();
+    core::PcapConfig pc;
+    std::map<std::string, int> byPc;  // last-pc -> miss count
+    int misses = 0, opps = 0;
+
+    for (const auto &input : execs) {
+        struct Ctx {
+            std::unique_ptr<core::PcapPredictor> pred;
+            TimeUs prev = -1;
+            pred::ShutdownDecision d;
+            Address lastPc = 0;
+            std::uint32_t sig = 0;
+        };
+        std::map<Pid, Ctx> ctxs;
+        for (const auto &span : input.processes) {
+            if (span.pid == kFlushDaemonPid) continue;
+            Ctx c; c.pred = std::make_unique<core::PcapPredictor>(pc, table, span.start);
+            c.d = pred::initialConsent(span.start);
+            ctxs.emplace(span.pid, std::move(c));
+        }
+        for (const auto &a : input.accesses) {
+            auto it = ctxs.find(a.pid);
+            if (it == ctxs.end()) continue;
+            auto &c = it->second;
+            if (c.prev >= 0) {
+                TimeUs gap = a.time - c.prev;
+                bool opp = gap > be;
+                if (opp) opps++;
+                bool shut = c.d.earliest != kTimeNever && c.d.earliest < a.time;
+                if (shut) {
+                    TimeUs off = a.time - std::max(c.d.earliest, c.prev);
+                    if (!(opp && off >= be) && c.d.source == pred::DecisionSource::Primary) {
+                        misses++;
+                        char buf[128];
+                        snprintf(buf, sizeof buf, "pid=%d lastPc=0x%x gap=%.2fs",
+                                 a.pid, c.lastPc, usToSeconds(gap));
+                        byPc[buf]++;
+                    }
+                }
+            }
+            pred::IoContext io{a.time, c.prev >= 0 ? a.time - c.prev : -1,
+                               a.pc, a.fd, a.file, a.isWrite};
+            c.d = c.pred->onIo(io);
+            c.lastPc = a.pc; c.sig = c.pred->signature();
+            c.prev = a.time;
+        }
+    }
+    printf("app=%s opportunities=%d primary misses=%d\n", app.c_str(), opps, misses);
+    // aggregate by pc only
+    std::map<std::string, int> agg;
+    for (auto &[k, v] : byPc) {
+        auto p1 = k.find("lastPc=");
+        auto p2 = k.find(" gap=");
+        double gap = atof(k.c_str() + p2 + 5);
+        std::string pcs = k.substr(p1, p2 - p1);
+        char bucket[16];
+        snprintf(bucket, sizeof bucket, "%s", gap < 1.5 ? "<1.5" : gap < 3 ? "1.5-3" : gap < 5.43 ? "3-5.4" : ">5.4");
+        agg[pcs + " gap" + bucket] += v;
+    }
+    for (auto &[k, v] : agg) printf("%6d  %s\n", v, k.c_str());
+    return 0;
+}
