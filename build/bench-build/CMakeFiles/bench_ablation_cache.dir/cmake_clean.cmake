@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cache"
+  "../bench/bench_ablation_cache.pdb"
+  "CMakeFiles/bench_ablation_cache.dir/bench_ablation_cache.cpp.o"
+  "CMakeFiles/bench_ablation_cache.dir/bench_ablation_cache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_timeout"
+  "../bench/bench_ablation_timeout.pdb"
+  "CMakeFiles/bench_ablation_timeout.dir/bench_ablation_timeout.cpp.o"
+  "CMakeFiles/bench_ablation_timeout.dir/bench_ablation_timeout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_unlearn"
+  "../bench/bench_ablation_unlearn.pdb"
+  "CMakeFiles/bench_ablation_unlearn.dir/bench_ablation_unlearn.cpp.o"
+  "CMakeFiles/bench_ablation_unlearn.dir/bench_ablation_unlearn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unlearn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

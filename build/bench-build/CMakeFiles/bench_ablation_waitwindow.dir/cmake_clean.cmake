@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_waitwindow"
+  "../bench/bench_ablation_waitwindow.pdb"
+  "CMakeFiles/bench_ablation_waitwindow.dir/bench_ablation_waitwindow.cpp.o"
+  "CMakeFiles/bench_ablation_waitwindow.dir/bench_ablation_waitwindow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_waitwindow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_multistate"
+  "../bench/bench_extension_multistate.pdb"
+  "CMakeFiles/bench_extension_multistate.dir/bench_extension_multistate.cpp.o"
+  "CMakeFiles/bench_extension_multistate.dir/bench_extension_multistate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_multistate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

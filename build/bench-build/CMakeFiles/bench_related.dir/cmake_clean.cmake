@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_related"
+  "../bench/bench_related.pdb"
+  "CMakeFiles/bench_related.dir/bench_related.cpp.o"
+  "CMakeFiles/bench_related.dir/bench_related.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/online_power_manager"
+  "../examples/online_power_manager.pdb"
+  "CMakeFiles/online_power_manager.dir/online_power_manager.cpp.o"
+  "CMakeFiles/online_power_manager.dir/online_power_manager.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_power_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

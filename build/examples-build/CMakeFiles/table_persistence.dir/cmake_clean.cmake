@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/table_persistence"
+  "../examples/table_persistence.pdb"
+  "CMakeFiles/table_persistence.dir/table_persistence.cpp.o"
+  "CMakeFiles/table_persistence.dir/table_persistence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/trace_explorer"
+  "../examples/trace_explorer.pdb"
+  "CMakeFiles/trace_explorer.dir/trace_explorer.cpp.o"
+  "CMakeFiles/trace_explorer.dir/trace_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_cache.dir/file_cache.cpp.o"
+  "CMakeFiles/pcap_cache.dir/file_cache.cpp.o.d"
+  "libpcap_cache.a"
+  "libpcap_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcap_cache.a"
+)

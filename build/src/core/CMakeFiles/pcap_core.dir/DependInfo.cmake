@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/global.cpp" "src/core/CMakeFiles/pcap_core.dir/global.cpp.o" "gcc" "src/core/CMakeFiles/pcap_core.dir/global.cpp.o.d"
+  "/root/repo/src/core/online_manager.cpp" "src/core/CMakeFiles/pcap_core.dir/online_manager.cpp.o" "gcc" "src/core/CMakeFiles/pcap_core.dir/online_manager.cpp.o.d"
+  "/root/repo/src/core/pcap.cpp" "src/core/CMakeFiles/pcap_core.dir/pcap.cpp.o" "gcc" "src/core/CMakeFiles/pcap_core.dir/pcap.cpp.o.d"
+  "/root/repo/src/core/prediction_table.cpp" "src/core/CMakeFiles/pcap_core.dir/prediction_table.cpp.o" "gcc" "src/core/CMakeFiles/pcap_core.dir/prediction_table.cpp.o.d"
+  "/root/repo/src/core/signature.cpp" "src/core/CMakeFiles/pcap_core.dir/signature.cpp.o" "gcc" "src/core/CMakeFiles/pcap_core.dir/signature.cpp.o.d"
+  "/root/repo/src/core/table_store.cpp" "src/core/CMakeFiles/pcap_core.dir/table_store.cpp.o" "gcc" "src/core/CMakeFiles/pcap_core.dir/table_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/pcap_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/pred/CMakeFiles/pcap_pred.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pcap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_core.dir/global.cpp.o"
+  "CMakeFiles/pcap_core.dir/global.cpp.o.d"
+  "CMakeFiles/pcap_core.dir/online_manager.cpp.o"
+  "CMakeFiles/pcap_core.dir/online_manager.cpp.o.d"
+  "CMakeFiles/pcap_core.dir/pcap.cpp.o"
+  "CMakeFiles/pcap_core.dir/pcap.cpp.o.d"
+  "CMakeFiles/pcap_core.dir/prediction_table.cpp.o"
+  "CMakeFiles/pcap_core.dir/prediction_table.cpp.o.d"
+  "CMakeFiles/pcap_core.dir/signature.cpp.o"
+  "CMakeFiles/pcap_core.dir/signature.cpp.o.d"
+  "CMakeFiles/pcap_core.dir/table_store.cpp.o"
+  "CMakeFiles/pcap_core.dir/table_store.cpp.o.d"
+  "libpcap_core.a"
+  "libpcap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcap_core.a"
+)

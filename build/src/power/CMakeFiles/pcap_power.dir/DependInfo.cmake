@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/disk.cpp" "src/power/CMakeFiles/pcap_power.dir/disk.cpp.o" "gcc" "src/power/CMakeFiles/pcap_power.dir/disk.cpp.o.d"
+  "/root/repo/src/power/disk_params.cpp" "src/power/CMakeFiles/pcap_power.dir/disk_params.cpp.o" "gcc" "src/power/CMakeFiles/pcap_power.dir/disk_params.cpp.o.d"
+  "/root/repo/src/power/energy.cpp" "src/power/CMakeFiles/pcap_power.dir/energy.cpp.o" "gcc" "src/power/CMakeFiles/pcap_power.dir/energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

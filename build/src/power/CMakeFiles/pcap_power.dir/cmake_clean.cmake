@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_power.dir/disk.cpp.o"
+  "CMakeFiles/pcap_power.dir/disk.cpp.o.d"
+  "CMakeFiles/pcap_power.dir/disk_params.cpp.o"
+  "CMakeFiles/pcap_power.dir/disk_params.cpp.o.d"
+  "CMakeFiles/pcap_power.dir/energy.cpp.o"
+  "CMakeFiles/pcap_power.dir/energy.cpp.o.d"
+  "libpcap_power.a"
+  "libpcap_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

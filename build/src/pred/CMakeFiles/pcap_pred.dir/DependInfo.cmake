@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pred/adaptive_timeout.cpp" "src/pred/CMakeFiles/pcap_pred.dir/adaptive_timeout.cpp.o" "gcc" "src/pred/CMakeFiles/pcap_pred.dir/adaptive_timeout.cpp.o.d"
+  "/root/repo/src/pred/busy_ratio.cpp" "src/pred/CMakeFiles/pcap_pred.dir/busy_ratio.cpp.o" "gcc" "src/pred/CMakeFiles/pcap_pred.dir/busy_ratio.cpp.o.d"
+  "/root/repo/src/pred/exp_average.cpp" "src/pred/CMakeFiles/pcap_pred.dir/exp_average.cpp.o" "gcc" "src/pred/CMakeFiles/pcap_pred.dir/exp_average.cpp.o.d"
+  "/root/repo/src/pred/learning_tree.cpp" "src/pred/CMakeFiles/pcap_pred.dir/learning_tree.cpp.o" "gcc" "src/pred/CMakeFiles/pcap_pred.dir/learning_tree.cpp.o.d"
+  "/root/repo/src/pred/timeout.cpp" "src/pred/CMakeFiles/pcap_pred.dir/timeout.cpp.o" "gcc" "src/pred/CMakeFiles/pcap_pred.dir/timeout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

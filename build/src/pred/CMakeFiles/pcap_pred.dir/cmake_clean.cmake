@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_pred.dir/adaptive_timeout.cpp.o"
+  "CMakeFiles/pcap_pred.dir/adaptive_timeout.cpp.o.d"
+  "CMakeFiles/pcap_pred.dir/busy_ratio.cpp.o"
+  "CMakeFiles/pcap_pred.dir/busy_ratio.cpp.o.d"
+  "CMakeFiles/pcap_pred.dir/exp_average.cpp.o"
+  "CMakeFiles/pcap_pred.dir/exp_average.cpp.o.d"
+  "CMakeFiles/pcap_pred.dir/learning_tree.cpp.o"
+  "CMakeFiles/pcap_pred.dir/learning_tree.cpp.o.d"
+  "CMakeFiles/pcap_pred.dir/timeout.cpp.o"
+  "CMakeFiles/pcap_pred.dir/timeout.cpp.o.d"
+  "libpcap_pred.a"
+  "libpcap_pred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/pcap_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/pcap_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/input.cpp" "src/sim/CMakeFiles/pcap_sim.dir/input.cpp.o" "gcc" "src/sim/CMakeFiles/pcap_sim.dir/input.cpp.o.d"
+  "/root/repo/src/sim/policy.cpp" "src/sim/CMakeFiles/pcap_sim.dir/policy.cpp.o" "gcc" "src/sim/CMakeFiles/pcap_sim.dir/policy.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/pcap_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/pcap_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/pcap_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/pcap_sim.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/pcap_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pcap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcap_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/pred/CMakeFiles/pcap_pred.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pcap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pcap_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

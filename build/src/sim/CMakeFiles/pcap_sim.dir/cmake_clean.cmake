@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_sim.dir/experiment.cpp.o"
+  "CMakeFiles/pcap_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/pcap_sim.dir/input.cpp.o"
+  "CMakeFiles/pcap_sim.dir/input.cpp.o.d"
+  "CMakeFiles/pcap_sim.dir/policy.cpp.o"
+  "CMakeFiles/pcap_sim.dir/policy.cpp.o.d"
+  "CMakeFiles/pcap_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pcap_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/pcap_sim.dir/stats.cpp.o"
+  "CMakeFiles/pcap_sim.dir/stats.cpp.o.d"
+  "libpcap_sim.a"
+  "libpcap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

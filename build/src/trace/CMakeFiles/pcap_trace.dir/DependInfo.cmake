@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/builder.cpp" "src/trace/CMakeFiles/pcap_trace.dir/builder.cpp.o" "gcc" "src/trace/CMakeFiles/pcap_trace.dir/builder.cpp.o.d"
+  "/root/repo/src/trace/event.cpp" "src/trace/CMakeFiles/pcap_trace.dir/event.cpp.o" "gcc" "src/trace/CMakeFiles/pcap_trace.dir/event.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/pcap_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/pcap_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/strace_parse.cpp" "src/trace/CMakeFiles/pcap_trace.dir/strace_parse.cpp.o" "gcc" "src/trace/CMakeFiles/pcap_trace.dir/strace_parse.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/pcap_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/pcap_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_trace.dir/builder.cpp.o"
+  "CMakeFiles/pcap_trace.dir/builder.cpp.o.d"
+  "CMakeFiles/pcap_trace.dir/event.cpp.o"
+  "CMakeFiles/pcap_trace.dir/event.cpp.o.d"
+  "CMakeFiles/pcap_trace.dir/io.cpp.o"
+  "CMakeFiles/pcap_trace.dir/io.cpp.o.d"
+  "CMakeFiles/pcap_trace.dir/strace_parse.cpp.o"
+  "CMakeFiles/pcap_trace.dir/strace_parse.cpp.o.d"
+  "CMakeFiles/pcap_trace.dir/trace.cpp.o"
+  "CMakeFiles/pcap_trace.dir/trace.cpp.o.d"
+  "libpcap_trace.a"
+  "libpcap_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_util.dir/logging.cpp.o"
+  "CMakeFiles/pcap_util.dir/logging.cpp.o.d"
+  "CMakeFiles/pcap_util.dir/rng.cpp.o"
+  "CMakeFiles/pcap_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pcap_util.dir/stats.cpp.o"
+  "CMakeFiles/pcap_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pcap_util.dir/table.cpp.o"
+  "CMakeFiles/pcap_util.dir/table.cpp.o.d"
+  "libpcap_util.a"
+  "libpcap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/actor.cpp" "src/workload/CMakeFiles/pcap_workload.dir/actor.cpp.o" "gcc" "src/workload/CMakeFiles/pcap_workload.dir/actor.cpp.o.d"
+  "/root/repo/src/workload/app_model.cpp" "src/workload/CMakeFiles/pcap_workload.dir/app_model.cpp.o" "gcc" "src/workload/CMakeFiles/pcap_workload.dir/app_model.cpp.o.d"
+  "/root/repo/src/workload/apps/impress.cpp" "src/workload/CMakeFiles/pcap_workload.dir/apps/impress.cpp.o" "gcc" "src/workload/CMakeFiles/pcap_workload.dir/apps/impress.cpp.o.d"
+  "/root/repo/src/workload/apps/mozilla.cpp" "src/workload/CMakeFiles/pcap_workload.dir/apps/mozilla.cpp.o" "gcc" "src/workload/CMakeFiles/pcap_workload.dir/apps/mozilla.cpp.o.d"
+  "/root/repo/src/workload/apps/mplayer.cpp" "src/workload/CMakeFiles/pcap_workload.dir/apps/mplayer.cpp.o" "gcc" "src/workload/CMakeFiles/pcap_workload.dir/apps/mplayer.cpp.o.d"
+  "/root/repo/src/workload/apps/nedit.cpp" "src/workload/CMakeFiles/pcap_workload.dir/apps/nedit.cpp.o" "gcc" "src/workload/CMakeFiles/pcap_workload.dir/apps/nedit.cpp.o.d"
+  "/root/repo/src/workload/apps/writer.cpp" "src/workload/CMakeFiles/pcap_workload.dir/apps/writer.cpp.o" "gcc" "src/workload/CMakeFiles/pcap_workload.dir/apps/writer.cpp.o.d"
+  "/root/repo/src/workload/apps/xemacs.cpp" "src/workload/CMakeFiles/pcap_workload.dir/apps/xemacs.cpp.o" "gcc" "src/workload/CMakeFiles/pcap_workload.dir/apps/xemacs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/pcap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

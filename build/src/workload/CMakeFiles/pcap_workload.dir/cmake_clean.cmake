@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_workload.dir/actor.cpp.o"
+  "CMakeFiles/pcap_workload.dir/actor.cpp.o.d"
+  "CMakeFiles/pcap_workload.dir/app_model.cpp.o"
+  "CMakeFiles/pcap_workload.dir/app_model.cpp.o.d"
+  "CMakeFiles/pcap_workload.dir/apps/impress.cpp.o"
+  "CMakeFiles/pcap_workload.dir/apps/impress.cpp.o.d"
+  "CMakeFiles/pcap_workload.dir/apps/mozilla.cpp.o"
+  "CMakeFiles/pcap_workload.dir/apps/mozilla.cpp.o.d"
+  "CMakeFiles/pcap_workload.dir/apps/mplayer.cpp.o"
+  "CMakeFiles/pcap_workload.dir/apps/mplayer.cpp.o.d"
+  "CMakeFiles/pcap_workload.dir/apps/nedit.cpp.o"
+  "CMakeFiles/pcap_workload.dir/apps/nedit.cpp.o.d"
+  "CMakeFiles/pcap_workload.dir/apps/writer.cpp.o"
+  "CMakeFiles/pcap_workload.dir/apps/writer.cpp.o.d"
+  "CMakeFiles/pcap_workload.dir/apps/xemacs.cpp.o"
+  "CMakeFiles/pcap_workload.dir/apps/xemacs.cpp.o.d"
+  "libpcap_workload.a"
+  "libpcap_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_global.dir/test_global.cpp.o"
+  "CMakeFiles/test_global.dir/test_global.cpp.o.d"
+  "test_global"
+  "test_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multistate.dir/test_multistate.cpp.o"
+  "CMakeFiles/test_multistate.dir/test_multistate.cpp.o.d"
+  "test_multistate"
+  "test_multistate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multistate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

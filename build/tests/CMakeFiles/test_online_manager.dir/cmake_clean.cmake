@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_manager.dir/test_online_manager.cpp.o"
+  "CMakeFiles/test_online_manager.dir/test_online_manager.cpp.o.d"
+  "test_online_manager"
+  "test_online_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pred.dir/test_pred.cpp.o"
+  "CMakeFiles/test_pred.dir/test_pred.cpp.o.d"
+  "test_pred"
+  "test_pred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

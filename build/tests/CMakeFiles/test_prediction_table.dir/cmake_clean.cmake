@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prediction_table.dir/test_prediction_table.cpp.o"
+  "CMakeFiles/test_prediction_table.dir/test_prediction_table.cpp.o.d"
+  "test_prediction_table"
+  "test_prediction_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prediction_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

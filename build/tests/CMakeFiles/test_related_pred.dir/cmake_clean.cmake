@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_related_pred.dir/test_related_pred.cpp.o"
+  "CMakeFiles/test_related_pred.dir/test_related_pred.cpp.o.d"
+  "test_related_pred"
+  "test_related_pred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_related_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strace_parse.dir/test_strace_parse.cpp.o"
+  "CMakeFiles/test_strace_parse.dir/test_strace_parse.cpp.o.d"
+  "test_strace_parse"
+  "test_strace_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strace_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

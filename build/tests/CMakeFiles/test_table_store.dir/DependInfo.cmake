@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_table_store.cpp" "tests/CMakeFiles/test_table_store.dir/test_table_store.cpp.o" "gcc" "tests/CMakeFiles/test_table_store.dir/test_table_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pcap_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pcap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcap_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/pred/CMakeFiles/pcap_pred.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pcap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pcap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_store.dir/test_table_store.cpp.o"
+  "CMakeFiles/test_table_store.dir/test_table_store.cpp.o.d"
+  "test_table_store"
+  "test_table_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_global.dir/diag_global.cpp.o"
+  "CMakeFiles/diag_global.dir/diag_global.cpp.o.d"
+  "diag_global"
+  "diag_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

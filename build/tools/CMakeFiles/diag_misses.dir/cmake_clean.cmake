@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_misses.dir/diag_misses.cpp.o"
+  "CMakeFiles/diag_misses.dir/diag_misses.cpp.o.d"
+  "diag_misses"
+  "diag_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
