@@ -1,59 +1,16 @@
 /**
  * @file
- * Ablation — file-cache size.
+ * Ablation — file-cache size sweep.
  *
- * The paper filters traces through a 256 KB Linux-like file cache so
- * only misses reach the disk (Section 6). A larger cache absorbs
- * more traffic, merging disk idle periods into fewer, longer ones —
- * which changes what every predictor sees.
+ * Thin wrapper: the report itself lives in reports.cpp so bench_all
+ * can render it from a shared parallel experiment engine; this
+ * binary keeps the historical one-report-per-process interface.
  */
 
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace pcap;
+#include "reports.hpp"
 
 int
 main()
 {
-    bench::printHeader(
-        "Ablation: file-cache size (paper: 256 KB)",
-        "Larger caches absorb more traffic: fewer disk accesses, "
-        "fewer but longer idle periods.");
-
-    TextTable table;
-    table.setHeader({"cache", "disk accesses", "global periods",
-                     "PCAP hit", "PCAP miss", "PCAP saved"});
-
-    for (std::size_t kb : {64, 128, 256, 512, 1024, 4096}) {
-        sim::ExperimentConfig config = bench::standardConfig();
-        config.cache.capacityBytes = kb * 1024;
-        sim::Evaluation eval(config);
-
-        std::uint64_t accesses = 0, periods = 0;
-        std::vector<double> hit, miss, saved;
-        for (const std::string &app : eval.appNames()) {
-            for (const auto &input : eval.inputs(app)) {
-                accesses += input.accesses.size();
-                periods += input.countGlobalOpportunities(
-                    config.sim.breakeven());
-            }
-            const auto outcome =
-                eval.globalRun(app, sim::PolicyConfig::pcapBase());
-            hit.push_back(outcome.run.accuracy.hitFraction());
-            miss.push_back(outcome.run.accuracy.missFraction());
-            saved.push_back(1.0 -
-                            outcome.run.energy.normalizedTo(
-                                eval.baseRun(app).energy));
-        }
-        table.addRow({std::to_string(kb) + " KB",
-                      std::to_string(accesses),
-                      std::to_string(periods),
-                      percentString(bench::averageOf(hit)),
-                      percentString(bench::averageOf(miss)),
-                      percentString(bench::averageOf(saved))});
-    }
-    table.print(std::cout);
-    return 0;
+    return pcap::bench::runReportStandalone("ablation_cache");
 }

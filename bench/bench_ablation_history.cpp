@@ -1,69 +1,16 @@
 /**
  * @file
- * Ablation — history-length sensitivity.
+ * Ablation — history-length sensitivity (PCAPh / LT).
  *
- * The paper chose six idle periods for PCAPh ("longer history does
- * not reduce mispredictions any further", Section 6.4.1) and eight
- * for LT ("longer history lengths does not improve accuracy",
- * Section 6.1). This bench sweeps both.
+ * Thin wrapper: the report itself lives in reports.cpp so bench_all
+ * can render it from a shared parallel experiment engine; this
+ * binary keeps the historical one-report-per-process interface.
  */
 
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace pcap;
-
-namespace {
-
-void
-averages(sim::Evaluation &eval, const sim::PolicyConfig &policy,
-         double &hit, double &miss)
-{
-    std::vector<double> hits, misses;
-    for (const std::string &app : eval.appNames()) {
-        const sim::AccuracyStats stats =
-            eval.globalRun(app, policy).run.accuracy;
-        hits.push_back(stats.hitFraction());
-        misses.push_back(stats.missFraction());
-    }
-    hit = bench::averageOf(hits);
-    miss = bench::averageOf(misses);
-}
-
-} // namespace
+#include "reports.hpp"
 
 int
 main()
 {
-    bench::printHeader(
-        "Ablation: history length (PCAPh idle history / LT tree "
-        "depth)",
-        "Paper picks PCAPh length 6 and LT depth 8; longer "
-        "histories plateau.");
-
-    sim::Evaluation eval(bench::standardConfig());
-
-    TextTable table;
-    table.setHeader({"length", "PCAPh hit", "PCAPh miss", "LT hit",
-                     "LT miss"});
-
-    for (int length : {1, 2, 4, 6, 8, 10, 12}) {
-        sim::PolicyConfig pcaph = sim::PolicyConfig::pcapHistory();
-        pcaph.pcap.historyLength = length;
-        sim::PolicyConfig lt = sim::PolicyConfig::learningTree();
-        lt.lt.historyLength = length;
-
-        double pcap_hit = 0, pcap_miss = 0, lt_hit = 0, lt_miss = 0;
-        averages(eval, pcaph, pcap_hit, pcap_miss);
-        averages(eval, lt, lt_hit, lt_miss);
-
-        table.addRow({std::to_string(length),
-                      percentString(pcap_hit),
-                      percentString(pcap_miss),
-                      percentString(lt_hit),
-                      percentString(lt_miss)});
-    }
-    table.print(std::cout);
-    return 0;
+    return pcap::bench::runReportStandalone("ablation_history");
 }

@@ -2,75 +2,15 @@
  * @file
  * Ablation — timeout sensitivity (Section 6.3).
  *
- * The paper: TP with a 10 s timer saves 72% of energy at 8% global
- * mispredictions; setting the timer to the breakeven time (5.43 s)
- * raises savings to 74% but mispredictions to 12%. LT and PCAP
- * energy savings are "not affected by the timeout value" since most
- * predictions come from the primary predictors.
- *
- * This bench sweeps the timer for TP and for PCAP's backup.
+ * Thin wrapper: the report itself lives in reports.cpp so bench_all
+ * can render it from a shared parallel experiment engine; this
+ * binary keeps the historical one-report-per-process interface.
  */
 
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace pcap;
-
-namespace {
-
-double
-averageSavings(sim::Evaluation &eval, const sim::PolicyConfig &policy)
-{
-    std::vector<double> savings;
-    for (const std::string &app : eval.appNames()) {
-        const double total =
-            eval.globalRun(app, policy)
-                .run.energy.normalizedTo(eval.baseRun(app).energy);
-        savings.push_back(1.0 - total);
-    }
-    return bench::averageOf(savings);
-}
-
-double
-averageMiss(sim::Evaluation &eval, const sim::PolicyConfig &policy)
-{
-    std::vector<double> misses;
-    for (const std::string &app : eval.appNames())
-        misses.push_back(eval.globalRun(app, policy)
-                             .run.accuracy.missFraction());
-    return bench::averageOf(misses);
-}
-
-} // namespace
+#include "reports.hpp"
 
 int
 main()
 {
-    bench::printHeader(
-        "Ablation: timeout sensitivity (Section 6.3)",
-        "Paper: TP 10s saves 72% / 8% miss; TP 5.43s saves 74% / "
-        "12% miss; LT and PCAP are insensitive to the backup timer.");
-
-    sim::Evaluation eval(bench::standardConfig());
-    const double timers_s[] = {2.0, 5.43, 10.0, 20.0, 30.0};
-
-    TextTable table;
-    table.setHeader(
-        {"timer", "TP saved", "TP miss", "PCAP saved", "PCAP miss"});
-
-    for (double timer : timers_s) {
-        sim::PolicyConfig tp =
-            sim::PolicyConfig::timeoutPolicy(secondsUs(timer));
-        sim::PolicyConfig pcap = sim::PolicyConfig::pcapBase();
-        pcap.timeout = secondsUs(timer);
-
-        table.addRow({fixedString(timer, 2) + " s",
-                      percentString(averageSavings(eval, tp)),
-                      percentString(averageMiss(eval, tp)),
-                      percentString(averageSavings(eval, pcap)),
-                      percentString(averageMiss(eval, pcap))});
-    }
-    table.print(std::cout);
-    return 0;
+    return pcap::bench::runReportStandalone("ablation_timeout");
 }

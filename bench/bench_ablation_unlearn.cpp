@@ -1,58 +1,16 @@
 /**
  * @file
- * Ablation — unlearning on misprediction (extension, not in the
- * paper).
+ * Ablation (extension) — drop table entries on misprediction.
  *
- * The paper keeps every trained signature and relies on the
- * wait-window and context (history/fd) to suppress subpath-aliasing
- * mispredictions, suggesting only LRU replacement for stale entries
- * (Section 4.2). A natural extension is to *drop* an entry the
- * moment it mispredicts. This bench measures the trade: unlearning
- * removes repeat offenders but also forgets genuinely bimodal paths,
- * costing coverage.
+ * Thin wrapper: the report itself lives in reports.cpp so bench_all
+ * can render it from a shared parallel experiment engine; this
+ * binary keeps the historical one-report-per-process interface.
  */
 
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace pcap;
+#include "reports.hpp"
 
 int
 main()
 {
-    bench::printHeader(
-        "Ablation (extension): drop table entries on misprediction",
-        "Not in the paper; quantifies the design choice of keeping "
-        "aliased entries and filtering contextually instead.");
-
-    sim::Evaluation eval(bench::standardConfig());
-
-    TextTable table;
-    table.setHeader({"app", "policy", "hit", "miss", "not-predicted",
-                     "entries"});
-
-    for (bool unlearn : {false, true}) {
-        sim::PolicyConfig pcap = sim::PolicyConfig::pcapBase();
-        pcap.pcap.unlearnOnMisprediction = unlearn;
-        pcap.label = unlearn ? "PCAP-unlearn" : "PCAP";
-        std::vector<double> hit, miss;
-        for (const std::string &app : eval.appNames()) {
-            const auto outcome = eval.globalRun(app, pcap);
-            table.addRow(
-                {app, pcap.label,
-                 percentString(outcome.run.accuracy.hitFraction()),
-                 percentString(outcome.run.accuracy.missFraction()),
-                 percentString(
-                     outcome.run.accuracy.notPredictedFraction()),
-                 std::to_string(outcome.tableEntries)});
-            hit.push_back(outcome.run.accuracy.hitFraction());
-            miss.push_back(outcome.run.accuracy.missFraction());
-        }
-        table.addRow({"AVERAGE", pcap.label,
-                      percentString(bench::averageOf(hit)),
-                      percentString(bench::averageOf(miss)), "", ""});
-    }
-    table.print(std::cout);
-    return 0;
+    return pcap::bench::runReportStandalone("ablation_unlearn");
 }

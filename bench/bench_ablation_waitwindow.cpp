@@ -2,55 +2,15 @@
  * @file
  * Ablation — sliding wait-window length (Section 4.1.1).
  *
- * The paper uses a one-second wait-window "since it filters
- * mispredictions in most common cases". Without the window (0.05 s
- * here — the window also delays the spin-down, so exactly 0 is not
- * representable in the decision model), every intra-burst signature
- * match would spin the disk down mid-burst; very long windows eat
- * into the energy savings like a timeout would.
+ * Thin wrapper: the report itself lives in reports.cpp so bench_all
+ * can render it from a shared parallel experiment engine; this
+ * binary keeps the historical one-report-per-process interface.
  */
 
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace pcap;
+#include "reports.hpp"
 
 int
 main()
 {
-    bench::printHeader(
-        "Ablation: sliding wait-window length (PCAP, global)",
-        "Paper uses 1 s; shorter windows let burst-internal matches "
-        "spin the disk down, longer windows waste idle energy.");
-
-    sim::Evaluation eval(bench::standardConfig());
-
-    TextTable table;
-    table.setHeader({"window", "hit", "miss", "not-predicted",
-                     "saved"});
-
-    for (double window_s : {0.05, 0.25, 0.5, 1.0, 2.0, 4.0}) {
-        sim::PolicyConfig pcap = sim::PolicyConfig::pcapBase();
-        pcap.pcap.waitWindow = secondsUs(window_s);
-
-        std::vector<double> hit, miss, notp, saved;
-        for (const std::string &app : eval.appNames()) {
-            const auto outcome = eval.globalRun(app, pcap);
-            hit.push_back(outcome.run.accuracy.hitFraction());
-            miss.push_back(outcome.run.accuracy.missFraction());
-            notp.push_back(
-                outcome.run.accuracy.notPredictedFraction());
-            saved.push_back(1.0 -
-                            outcome.run.energy.normalizedTo(
-                                eval.baseRun(app).energy));
-        }
-        table.addRow({fixedString(window_s, 2) + " s",
-                      percentString(bench::averageOf(hit)),
-                      percentString(bench::averageOf(miss)),
-                      percentString(bench::averageOf(notp)),
-                      percentString(bench::averageOf(saved))});
-    }
-    table.print(std::cout);
-    return 0;
+    return pcap::bench::runReportStandalone("ablation_waitwindow");
 }

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * bench_all — the whole evaluation suite in one process.
+ *
+ * Historically every table and figure was a separate binary, each
+ * regenerating the six-application workload from seed before
+ * simulating; a full EXPERIMENTS.md refresh paid that cost ~15
+ * times. bench_all renders every report through one shared
+ * ParallelEvaluation: the workload is generated (or loaded from the
+ * on-disk cache) once, every (app x policy x mode) simulation cell
+ * is computed once — reports overlap heavily in the cells they
+ * query — and cells fan out across a thread pool where cores exist.
+ *
+ * Output: the same report text the standalone binaries print, plus
+ * per-phase wall-clock timings and a machine-readable
+ * BENCH_RESULTS.json for tools/compare_bench.py.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "reports.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace pcap;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: bench_all [options]\n"
+          "  -j, --jobs N      worker threads (default: hardware "
+          "cores)\n"
+          "      --no-cache    disable the on-disk workload cache\n"
+          "      --cache-dir P workload cache directory (default: "
+          "$PCAP_WORKLOAD_CACHE\n"
+          "                    or <tmp>/pcap-workload-cache)\n"
+          "      --json PATH   results file (default: "
+          "BENCH_RESULTS.json; '-' disables)\n"
+          "      --only NAMES  comma-separated report names to "
+          "run\n"
+          "      --list        list report names and exit\n"
+          "  -h, --help        this text\n";
+}
+
+Json
+linesJson(const std::string &text)
+{
+    Json lines = Json::array();
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        lines.push(line);
+    return lines;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = ThreadPool::hardwareJobs();
+    bool use_cache = true;
+    std::string cache_dir;
+    std::string json_path = "BENCH_RESULTS.json";
+    std::vector<std::string> only;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (++i >= argc) {
+                std::cerr << flag << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[i];
+        };
+        auto parseJobs = [](const std::string &text) -> unsigned {
+            // stoul accepts "-3" (wrapping it to a huge value), so
+            // insist on digits only and a sane upper bound.
+            std::size_t used = 0;
+            unsigned long parsed = 0;
+            const bool digits =
+                !text.empty() &&
+                text.find_first_not_of("0123456789") ==
+                    std::string::npos;
+            if (digits) {
+                try {
+                    parsed = std::stoul(text, &used);
+                } catch (const std::exception &) {
+                    used = 0;
+                }
+            }
+            if (!digits || used != text.size() || parsed > 4096) {
+                std::cerr << "--jobs needs an integer in [0, 4096], "
+                             "got '"
+                          << text << "'\n";
+                std::exit(2);
+            }
+            return static_cast<unsigned>(parsed);
+        };
+        if (arg == "-h" || arg == "--help") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--list") {
+            for (const auto &report : bench::allReports())
+                std::cout << report.name << "\n";
+            return 0;
+        } else if (arg == "-j" || arg == "--jobs") {
+            jobs = parseJobs(value("--jobs"));
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+            jobs = parseJobs(arg.substr(2));
+        } else if (arg == "--no-cache") {
+            use_cache = false;
+        } else if (arg == "--cache-dir") {
+            cache_dir = value("--cache-dir");
+        } else if (arg == "--json") {
+            json_path = value("--json");
+        } else if (arg == "--only") {
+            std::istringstream names(value("--only"));
+            std::string name;
+            const std::size_t before = only.size();
+            while (std::getline(names, name, ','))
+                if (!name.empty())
+                    only.push_back(name);
+            if (only.size() == before) {
+                std::cerr << "--only needs at least one report "
+                             "name (see --list)\n";
+                return 2;
+            }
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    sim::ParallelOptions options;
+    options.jobs = jobs;
+    if (use_cache) {
+        options.cacheDir = cache_dir.empty()
+                               ? sim::WorkloadCache::defaultDirectory()
+                               : cache_dir;
+    }
+
+    sim::ParallelEvaluation eval(bench::standardConfig(), options);
+    bench::ReportContext ctx{
+        eval, [&options](const sim::ExperimentConfig &config) {
+            return std::unique_ptr<sim::EvaluationApi>(
+                new sim::ParallelEvaluation(config, options));
+        }};
+
+    std::vector<const bench::Report *> selected;
+    for (const auto &report : bench::allReports()) {
+        bool wanted = only.empty();
+        for (const std::string &name : only)
+            wanted = wanted || name == report.name;
+        if (wanted)
+            selected.push_back(&report);
+    }
+    if (selected.empty()) {
+        std::cerr << "no matching reports (see --list)\n";
+        return 2;
+    }
+
+    const Clock::time_point total_start = Clock::now();
+
+    // Phase 1: make every needed workload resident (cache or
+    // generation), then fan the union of simulation cells across
+    // the pool — reports afterwards only format memoized results.
+    const Clock::time_point inputs_start = Clock::now();
+    eval.prefetchInputs();
+    const double inputs_ms = msSince(inputs_start);
+
+    const Clock::time_point cells_start = Clock::now();
+    std::vector<sim::Cell> cells;
+    for (const bench::Report *report : selected) {
+        const std::vector<sim::Cell> report_cells = report->cells();
+        cells.insert(cells.end(), report_cells.begin(),
+                     report_cells.end());
+    }
+    eval.prefetch(cells);
+    const double cells_ms = msSince(cells_start);
+
+    // Phase 2: render every report, recording its residual cost
+    // (cells not covered by the prefetch, plus formatting).
+    Json report_json = Json::object();
+    Json timing_json = Json::object();
+    for (const bench::Report *report : selected) {
+        const Clock::time_point start = Clock::now();
+        std::ostringstream text;
+        report->run(ctx, text);
+        const double ms = msSince(start);
+
+        std::cout << text.str();
+        Json &entry = report_json[report->name];
+        entry = Json::object();
+        entry["binary"] = report->binary;
+        entry["ms"] = ms;
+        entry["lines"] = linesJson(text.str());
+        timing_json[report->name] = ms;
+    }
+    const double total_ms = msSince(total_start);
+
+    std::cout << "\n== bench_all timings ==\n"
+              << "jobs:             " << options.jobs << "\n"
+              << "workload cache:   "
+              << (eval.workloadCache().enabled()
+                      ? eval.workloadCache().directory()
+                      : std::string("disabled"))
+              << " (" << eval.workloadCache().hits() << " hits, "
+              << eval.workloadCache().misses() << " misses)\n"
+              << "inputs phase:     " << fixedString(inputs_ms, 1)
+              << " ms\n"
+              << "simulation phase: " << fixedString(cells_ms, 1)
+              << " ms (" << cells.size() << " cells)\n"
+              << "total:            " << fixedString(total_ms, 1)
+              << " ms\n";
+
+    if (json_path != "-") {
+        Json root = Json::object();
+        root["schema"] = "pcap-bench-results-v1";
+        root["seed"] = bench::kBenchSeed;
+        root["jobs"] = options.jobs;
+        Json &cache = root["workload_cache"];
+        cache = Json::object();
+        cache["enabled"] = eval.workloadCache().enabled();
+        cache["directory"] = eval.workloadCache().directory();
+        cache["hits"] = eval.workloadCache().hits();
+        cache["misses"] = eval.workloadCache().misses();
+        cache["stores"] = eval.workloadCache().stores();
+        cache["generated_apps"] = eval.generatedApps();
+        Json &timings = root["timings_ms"];
+        timings = Json::object();
+        timings["inputs"] = inputs_ms;
+        timings["simulation"] = cells_ms;
+        timings["total"] = total_ms;
+        timings["reports"] = std::move(timing_json);
+        root["reports"] = std::move(report_json);
+
+        std::ofstream os(json_path);
+        if (!os) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 1;
+        }
+        root.dump(os);
+        os << "\n";
+        std::cout << "results: " << json_path << "\n";
+    }
+    return 0;
+}

@@ -1,79 +1,16 @@
 /**
  * @file
- * Extension — multiple low-power states (the paper's Section 7
- * future work).
+ * Extension — multi-state PCAP (the paper's Section 7 future work).
  *
- * "PCAP can be further extended to handle multiple low power states
- * of hard disks. For example, the sliding wait-window can be
- * optimized to put the disk into a lower power state immediately,
- * and only shut down after the wait-window elapses."
- *
- * This bench implements exactly that: on a primary prediction the
- * disk parks in a low-power idle mode (heads unloaded, 0.55 W) the
- * moment it goes idle, and the full spin-down still waits for the
- * wait-window. Benefits: the wait-window second is spent at 0.55 W
- * instead of 0.95 W, and a misprediction costs a 0.35 J head-load
- * instead of a 4.76 J spin cycle.
+ * Thin wrapper: the report itself lives in reports.cpp so bench_all
+ * can render it from a shared parallel experiment engine; this
+ * binary keeps the historical one-report-per-process interface.
  */
 
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace pcap;
+#include "reports.hpp"
 
 int
 main()
 {
-    bench::printHeader(
-        "Extension: multi-state PCAP (Section 7 future work)",
-        "PCAP-MS parks the disk in a 0.55 W low-power idle mode on "
-        "every primary prediction, then spins down after the "
-        "wait-window.");
-
-    sim::Evaluation eval(bench::standardConfig());
-    sim::SimParams params;
-
-    TextTable table;
-    table.setHeader({"app", "policy", "hit", "miss", "saved",
-                     "low-power entries"});
-
-    std::vector<double> saved_plain, saved_ms;
-    for (const std::string &app : eval.appNames()) {
-        const double base = eval.baseRun(app).energy.total();
-
-        sim::PolicySession plain(sim::PolicyConfig::pcapBase());
-        const sim::RunResult plain_run =
-            sim::runGlobal(eval.inputs(app), plain, params);
-        const double plain_saved =
-            1.0 - plain_run.energy.total() / base;
-        table.addRow({app, "PCAP",
-                      percentString(
-                          plain_run.accuracy.hitFraction()),
-                      percentString(
-                          plain_run.accuracy.missFraction()),
-                      percentString(plain_saved), "-"});
-        saved_plain.push_back(plain_saved);
-
-        sim::PolicySession ms(sim::PolicyConfig::pcapBase());
-        const sim::RunResult ms_run =
-            sim::runGlobalMultiState(eval.inputs(app), ms, params);
-        const double ms_saved = 1.0 - ms_run.energy.total() / base;
-        table.addRow(
-            {app, "PCAP-MS",
-             percentString(ms_run.accuracy.hitFraction()),
-             percentString(ms_run.accuracy.missFraction()),
-             percentString(ms_saved), ""});
-        saved_ms.push_back(ms_saved);
-    }
-    table.addRow({"AVERAGE", "PCAP", "", "",
-                  percentString(bench::averageOf(saved_plain)), ""});
-    table.addRow({"AVERAGE", "PCAP-MS", "", "",
-                  percentString(bench::averageOf(saved_ms)), ""});
-    table.print(std::cout);
-
-    std::cout << "\nThe accuracy columns are identical by "
-                 "construction — the extension changes only where "
-                 "the wait-window is spent.\n";
-    return 0;
+    return pcap::bench::runReportStandalone("extension_multistate");
 }

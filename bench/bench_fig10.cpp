@@ -1,71 +1,16 @@
 /**
  * @file
- * Figure 10 — prediction-table reuse.
+ * Figure 10 — prediction-table reuse vs PCAPa/LTa.
  *
- * Global predictor results for PCAP and LT with prediction tables
- * carried across executions (Section 4.2) against PCAPa and LTa,
- * which discard learned state when the application exits. Hits and
- * misses are split by primary vs backup source.
- *
- * Paper reference: with reuse, PCAP's primary predictor makes 70% of
- * correct predictions (backup adds 15%); without reuse the primary
- * share collapses to 16% (backup 59%). LT: 66%/18% with reuse vs
- * 26%/50% without — reuse quadruples PCAP's primary coverage.
+ * Thin wrapper: the report itself lives in reports.cpp so bench_all
+ * can render it from a shared parallel experiment engine; this
+ * binary keeps the historical one-report-per-process interface.
  */
 
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace pcap;
+#include "reports.hpp"
 
 int
 main()
 {
-    bench::printHeader(
-        "Figure 10: prediction-table reuse (global predictor)",
-        "Paper: PCAP primary 70% (backup 15%); PCAPa primary 16% "
-        "(backup 59%); LT 66%/18%; LTa 26%/50%.");
-
-    sim::Evaluation eval(bench::standardConfig());
-    const std::vector<sim::PolicyConfig> policies = {
-        sim::PolicyConfig::pcapBase(),
-        sim::PolicyConfig::pcapNoReuse(),
-        sim::PolicyConfig::learningTree(),
-        sim::PolicyConfig::learningTreeNoReuse(),
-    };
-
-    TextTable table;
-    table.setHeader({"app", "policy", "hit-primary", "hit-backup",
-                     "miss-primary", "miss-backup", "not-predicted"});
-
-    std::vector<std::vector<double>> hitP(policies.size());
-    std::vector<std::vector<double>> hitB(policies.size());
-    std::vector<std::vector<double>> miss(policies.size());
-
-    for (const std::string &app : eval.appNames()) {
-        for (std::size_t p = 0; p < policies.size(); ++p) {
-            const sim::AccuracyStats stats =
-                eval.globalRun(app, policies[p]).run.accuracy;
-            table.addRow(
-                {app, policies[p].label,
-                 percentString(stats.hitPrimaryFraction()),
-                 percentString(stats.hitBackupFraction()),
-                 percentString(stats.missPrimaryFraction()),
-                 percentString(stats.missBackupFraction()),
-                 percentString(stats.notPredictedFraction())});
-            hitP[p].push_back(stats.hitPrimaryFraction());
-            hitB[p].push_back(stats.hitBackupFraction());
-            miss[p].push_back(stats.missFraction());
-        }
-    }
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-        table.addRow({"AVERAGE", policies[p].label,
-                      percentString(bench::averageOf(hitP[p])),
-                      percentString(bench::averageOf(hitB[p])),
-                      percentString(bench::averageOf(miss[p])), "",
-                      ""});
-    }
-    table.print(std::cout);
-    return 0;
+    return pcap::bench::runReportStandalone("fig10");
 }

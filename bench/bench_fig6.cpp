@@ -2,61 +2,15 @@
  * @file
  * Figure 6 — local shutdown predictor accuracy.
  *
- * For every application, the Hit / Not-predicted / Miss fractions of
- * the timeout predictor (TP, 10 s), the Learning Tree (LT, history
- * 8) and PCAP, evaluated per process and normalized to the local
- * idle-period count.
- *
- * Paper reference (averages across applications): TP 52% hit / 3%
- * miss; LT 88% / 10%; PCAP 89% / 5%.
+ * Thin wrapper: the report itself lives in reports.cpp so bench_all
+ * can render it from a shared parallel experiment engine; this
+ * binary keeps the historical one-report-per-process interface.
  */
 
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace pcap;
+#include "reports.hpp"
 
 int
 main()
 {
-    bench::printHeader(
-        "Figure 6: local shutdown predictor accuracy",
-        "Paper averages: TP 52% hit / 3% miss; LT 88% / 10%; "
-        "PCAP 89% / 5%.");
-
-    sim::Evaluation eval(bench::standardConfig());
-    const std::vector<sim::PolicyConfig> policies = {
-        sim::PolicyConfig::timeoutPolicy(),
-        sim::PolicyConfig::learningTree(),
-        sim::PolicyConfig::pcapBase(),
-    };
-
-    TextTable table;
-    table.setHeader({"app", "policy", "hit", "not-predicted", "miss",
-                     "periods"});
-
-    std::vector<std::vector<double>> hit(policies.size());
-    std::vector<std::vector<double>> miss(policies.size());
-
-    for (const std::string &app : eval.appNames()) {
-        for (std::size_t p = 0; p < policies.size(); ++p) {
-            const sim::AccuracyStats stats =
-                eval.localAccuracy(app, policies[p]);
-            table.addRow({app, policies[p].label,
-                          percentString(stats.hitFraction()),
-                          percentString(stats.notPredictedFraction()),
-                          percentString(stats.missFraction()),
-                          std::to_string(stats.opportunities)});
-            hit[p].push_back(stats.hitFraction());
-            miss[p].push_back(stats.missFraction());
-        }
-    }
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-        table.addRow({"AVERAGE", policies[p].label,
-                      percentString(bench::averageOf(hit[p])), "",
-                      percentString(bench::averageOf(miss[p])), ""});
-    }
-    table.print(std::cout);
-    return 0;
+    return pcap::bench::runReportStandalone("fig6");
 }

@@ -2,60 +2,15 @@
  * @file
  * Figure 7 — global shutdown predictor accuracy.
  *
- * The complete system-wide predictor: per-process local predictors
- * combined by the Global Shutdown Predictor, normalized to the
- * number of global idle periods.
- *
- * Paper reference (averages): TP 71% hit / 8% miss; LT 84% / 20%;
- * PCAP 86% / 10%.
+ * Thin wrapper: the report itself lives in reports.cpp so bench_all
+ * can render it from a shared parallel experiment engine; this
+ * binary keeps the historical one-report-per-process interface.
  */
 
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace pcap;
+#include "reports.hpp"
 
 int
 main()
 {
-    bench::printHeader(
-        "Figure 7: global shutdown predictor accuracy",
-        "Paper averages: TP 71% hit / 8% miss; LT 84% / 20%; "
-        "PCAP 86% / 10%.");
-
-    sim::Evaluation eval(bench::standardConfig());
-    const std::vector<sim::PolicyConfig> policies = {
-        sim::PolicyConfig::timeoutPolicy(),
-        sim::PolicyConfig::learningTree(),
-        sim::PolicyConfig::pcapBase(),
-    };
-
-    TextTable table;
-    table.setHeader({"app", "policy", "hit", "not-predicted", "miss",
-                     "periods"});
-
-    std::vector<std::vector<double>> hit(policies.size());
-    std::vector<std::vector<double>> miss(policies.size());
-
-    for (const std::string &app : eval.appNames()) {
-        for (std::size_t p = 0; p < policies.size(); ++p) {
-            const sim::AccuracyStats stats =
-                eval.globalRun(app, policies[p]).run.accuracy;
-            table.addRow({app, policies[p].label,
-                          percentString(stats.hitFraction()),
-                          percentString(stats.notPredictedFraction()),
-                          percentString(stats.missFraction()),
-                          std::to_string(stats.opportunities)});
-            hit[p].push_back(stats.hitFraction());
-            miss[p].push_back(stats.missFraction());
-        }
-    }
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-        table.addRow({"AVERAGE", policies[p].label,
-                      percentString(bench::averageOf(hit[p])), "",
-                      percentString(bench::averageOf(miss[p])), ""});
-    }
-    table.print(std::cout);
-    return 0;
+    return pcap::bench::runReportStandalone("fig7");
 }

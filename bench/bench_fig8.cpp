@@ -1,97 +1,16 @@
 /**
  * @file
- * Figure 8 — energy distribution.
+ * Figure 8 — energy distribution, normalized to Base.
  *
- * For every application: the energy of the Base system (no power
- * management), the Ideal oracle, TP, LT and PCAP, broken into Busy
- * I/O, Idle<Breakeven, Idle>Breakeven and Power-cycle components,
- * normalized to the Base total.
- *
- * Paper reference: Base spends ~83% of energy idle (82% in periods
- * above breakeven); savings averages: Ideal 78%, TP 72%, LT 75%,
- * PCAP 76%.
+ * Thin wrapper: the report itself lives in reports.cpp so bench_all
+ * can render it from a shared parallel experiment engine; this
+ * binary keeps the historical one-report-per-process interface.
  */
 
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace pcap;
-
-namespace {
-
-void
-addEnergyRow(TextTable &table, const std::string &app,
-             const std::string &label,
-             const power::EnergyLedger &ledger,
-             const power::EnergyLedger &base,
-             std::vector<double> *savings)
-{
-    const double base_total = base.total();
-    auto frac = [base_total](double joules) {
-        return base_total > 0.0 ? joules / base_total : 0.0;
-    };
-    const double total_fraction = ledger.normalizedTo(base);
-    table.addRow(
-        {app, label,
-         percentString(frac(
-             ledger.get(power::EnergyCategory::BusyIo))),
-         percentString(frac(
-             ledger.get(power::EnergyCategory::IdleShort))),
-         percentString(frac(
-             ledger.get(power::EnergyCategory::IdleLong))),
-         percentString(frac(
-             ledger.get(power::EnergyCategory::PowerCycle))),
-         percentString(total_fraction),
-         percentString(1.0 - total_fraction)});
-    if (savings)
-        savings->push_back(1.0 - total_fraction);
-}
-
-} // namespace
+#include "reports.hpp"
 
 int
 main()
 {
-    bench::printHeader(
-        "Figure 8: energy distribution (normalized to Base)",
-        "Paper savings averages: Ideal 78%, TP 72%, LT 75%, "
-        "PCAP 76%.");
-
-    sim::Evaluation eval(bench::standardConfig());
-    const std::vector<sim::PolicyConfig> policies = {
-        sim::PolicyConfig::timeoutPolicy(),
-        sim::PolicyConfig::learningTree(),
-        sim::PolicyConfig::pcapBase(),
-    };
-
-    TextTable table;
-    table.setHeader({"app", "policy", "busy", "idle<BE", "idle>BE",
-                     "cycle", "total", "saved"});
-
-    std::vector<double> ideal_savings;
-    std::vector<std::vector<double>> policy_savings(policies.size());
-
-    for (const std::string &app : eval.appNames()) {
-        const power::EnergyLedger &base = eval.baseRun(app).energy;
-        addEnergyRow(table, app, "Base", base, base, nullptr);
-        addEnergyRow(table, app, "Ideal", eval.idealRun(app).energy,
-                     base, &ideal_savings);
-        for (std::size_t p = 0; p < policies.size(); ++p) {
-            addEnergyRow(table, app, policies[p].label,
-                         eval.globalRun(app, policies[p]).run.energy,
-                         base, &policy_savings[p]);
-        }
-    }
-
-    table.addRow({"AVERAGE", "Ideal", "", "", "", "", "",
-                  percentString(bench::averageOf(ideal_savings))});
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-        table.addRow({"AVERAGE", policies[p].label, "", "", "", "",
-                      "",
-                      percentString(
-                          bench::averageOf(policy_savings[p]))});
-    }
-    table.print(std::cout);
-    return 0;
+    return pcap::bench::runReportStandalone("fig8");
 }

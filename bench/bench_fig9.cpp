@@ -1,69 +1,16 @@
 /**
  * @file
- * Figure 9 — PCAP optimizations.
+ * Figure 9 — PCAP context optimizations (PCAPh/PCAPf/PCAPfh).
  *
- * Global predictor results for PCAP, PCAPh (idle-period history,
- * length 6), PCAPf (file-descriptor context) and PCAPfh (both), with
- * hits and misses split by the predictor that made the last decision
- * (primary vs backup timeout).
- *
- * Paper reference (averages): PCAP 85% hit / 10% miss; PCAPh 85% /
- * 5%; PCAPf 85% / 9%; PCAPfh 84% / 5%. History cuts mozilla's
- * mispredictions from 26% to 13%.
+ * Thin wrapper: the report itself lives in reports.cpp so bench_all
+ * can render it from a shared parallel experiment engine; this
+ * binary keeps the historical one-report-per-process interface.
  */
 
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace pcap;
+#include "reports.hpp"
 
 int
 main()
 {
-    bench::printHeader(
-        "Figure 9: PCAP context optimizations (global predictor)",
-        "Paper averages: PCAP 85%/10%, PCAPh 85%/5%, PCAPf 85%/9%, "
-        "PCAPfh 84%/5%; history halves mozilla's misses.");
-
-    sim::Evaluation eval(bench::standardConfig());
-    const std::vector<sim::PolicyConfig> policies = {
-        sim::PolicyConfig::pcapBase(),
-        sim::PolicyConfig::pcapHistory(),
-        sim::PolicyConfig::pcapFd(),
-        sim::PolicyConfig::pcapFdHistory(),
-    };
-
-    TextTable table;
-    table.setHeader({"app", "policy", "hit-primary", "hit-backup",
-                     "miss-primary", "miss-backup", "not-predicted",
-                     "hit", "miss"});
-
-    std::vector<std::vector<double>> hit(policies.size());
-    std::vector<std::vector<double>> miss(policies.size());
-
-    for (const std::string &app : eval.appNames()) {
-        for (std::size_t p = 0; p < policies.size(); ++p) {
-            const sim::AccuracyStats stats =
-                eval.globalRun(app, policies[p]).run.accuracy;
-            table.addRow(
-                {app, policies[p].label,
-                 percentString(stats.hitPrimaryFraction()),
-                 percentString(stats.hitBackupFraction()),
-                 percentString(stats.missPrimaryFraction()),
-                 percentString(stats.missBackupFraction()),
-                 percentString(stats.notPredictedFraction()),
-                 percentString(stats.hitFraction()),
-                 percentString(stats.missFraction())});
-            hit[p].push_back(stats.hitFraction());
-            miss[p].push_back(stats.missFraction());
-        }
-    }
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-        table.addRow({"AVERAGE", policies[p].label, "", "", "", "",
-                      "", percentString(bench::averageOf(hit[p])),
-                      percentString(bench::averageOf(miss[p]))});
-    }
-    table.print(std::cout);
-    return 0;
+    return pcap::bench::runReportStandalone("fig9");
 }

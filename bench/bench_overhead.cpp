@@ -19,6 +19,7 @@
 #include "core/pcap.hpp"
 #include "pred/learning_tree.hpp"
 #include "pred/timeout.hpp"
+#include "sim/input.hpp"
 
 using namespace pcap;
 
@@ -136,6 +137,69 @@ BM_GlobalPredictorAccess(benchmark::State &state)
     }
 }
 BENCHMARK(BM_GlobalPredictorAccess)->Arg(1)->Arg(4)->Arg(16);
+
+/** A synthetic execution: n accesses round-robined over 4 pids. */
+sim::ExecutionInput
+makeInput(std::size_t n)
+{
+    sim::ExecutionInput input;
+    input.app = "synthetic";
+    for (std::size_t i = 0; i < n; ++i) {
+        trace::DiskAccess access;
+        access.time = static_cast<TimeUs>(i) * millisUs(10);
+        access.pid = static_cast<Pid>(i % 4);
+        access.pc = 0x08048000u + static_cast<std::uint32_t>(i);
+        input.accesses.push_back(access);
+    }
+    for (Pid pid = 0; pid < 4; ++pid) {
+        input.processes.push_back(
+            {pid, 0, static_cast<TimeUs>(n) * millisUs(10)});
+    }
+    return input;
+}
+
+/**
+ * The old ExecutionInput::accessesOf: scan the whole stream and
+ * copy the matching records into a fresh vector on every call.
+ * Kept here as the baseline for the precomputed-slice version.
+ */
+std::vector<trace::DiskAccess>
+accessesOfByCopy(const sim::ExecutionInput &input, Pid pid)
+{
+    std::vector<trace::DiskAccess> result;
+    for (const auto &access : input.accesses) {
+        if (access.pid == pid)
+            result.push_back(access);
+    }
+    return result;
+}
+
+void
+BM_AccessesOfCopy(benchmark::State &state)
+{
+    const sim::ExecutionInput input =
+        makeInput(static_cast<std::size_t>(state.range(0)));
+    Pid pid = 0;
+    for (auto _ : state) {
+        pid = (pid + 1) % 4;
+        benchmark::DoNotOptimize(accessesOfByCopy(input, pid));
+    }
+}
+BENCHMARK(BM_AccessesOfCopy)->Arg(1024)->Arg(65536);
+
+void
+BM_AccessesOfPrecomputed(benchmark::State &state)
+{
+    const sim::ExecutionInput input =
+        makeInput(static_cast<std::size_t>(state.range(0)));
+    input.accessesOf(0); // finalize outside the timed loop
+    Pid pid = 0;
+    for (auto _ : state) {
+        pid = (pid + 1) % 4;
+        benchmark::DoNotOptimize(input.accessesOf(pid).size());
+    }
+}
+BENCHMARK(BM_AccessesOfPrecomputed)->Arg(1024)->Arg(65536);
 
 void
 BM_TimeoutOnIo(benchmark::State &state)

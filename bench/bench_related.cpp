@@ -1,78 +1,16 @@
 /**
  * @file
- * Extension — the prior dynamic predictors of Section 2, evaluated
- * under the same harness as the paper's own comparison.
+ * Extension — the prior dynamic predictors of Section 2 (EA, SB, ATP).
  *
- * The paper compares PCAP only against TP and the Learning Tree (the
- * strongest prior work), but its background section discusses three
- * more families: exponential-average idle prediction (Hwang & Wu,
- * "EA"), busy-period regression (Srivastava et al., "SB"), and
- * feedback-adapted timeouts (Douglis et al. / Golding et al.,
- * "ATP"). This bench runs them all on the global predictor, which
- * reproduces the qualitative claim of the paper's survey reference
- * [13]: dynamic predictors before LT/PCAP shut down eagerly but
- * mispredict far more than the timeout.
+ * Thin wrapper: the report itself lives in reports.cpp so bench_all
+ * can render it from a shared parallel experiment engine; this
+ * binary keeps the historical one-report-per-process interface.
  */
 
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace pcap;
+#include "reports.hpp"
 
 int
 main()
 {
-    bench::printHeader(
-        "Extension: prior dynamic predictors of Section 2 "
-        "(global)",
-        "EA = Hwang & Wu exponential average; SB = Srivastava "
-        "short-busy heuristic; ATP = adaptive timeout. The paper's "
-        "survey [13] found such predictors far less accurate than "
-        "TP; PCAP should dominate all of them.");
-
-    sim::Evaluation eval(bench::standardConfig());
-    const std::vector<sim::PolicyConfig> policies = {
-        sim::PolicyConfig::timeoutPolicy(),
-        sim::PolicyConfig::adaptiveTimeoutPolicy(),
-        sim::PolicyConfig::expAveragePolicy(),
-        sim::PolicyConfig::busyRatioPolicy(),
-        sim::PolicyConfig::learningTree(),
-        sim::PolicyConfig::pcapBase(),
-    };
-
-    TextTable table;
-    table.setHeader({"app", "policy", "hit", "miss",
-                     "not-predicted", "saved"});
-
-    std::vector<std::vector<double>> hit(policies.size());
-    std::vector<std::vector<double>> miss(policies.size());
-    std::vector<std::vector<double>> saved(policies.size());
-
-    for (const std::string &app : eval.appNames()) {
-        const double base = eval.baseRun(app).energy.total();
-        for (std::size_t p = 0; p < policies.size(); ++p) {
-            const auto outcome = eval.globalRun(app, policies[p]);
-            const auto &accuracy = outcome.run.accuracy;
-            const double savings =
-                1.0 - outcome.run.energy.total() / base;
-            table.addRow({app, policies[p].label,
-                          percentString(accuracy.hitFraction()),
-                          percentString(accuracy.missFraction()),
-                          percentString(
-                              accuracy.notPredictedFraction()),
-                          percentString(savings)});
-            hit[p].push_back(accuracy.hitFraction());
-            miss[p].push_back(accuracy.missFraction());
-            saved[p].push_back(savings);
-        }
-    }
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-        table.addRow({"AVERAGE", policies[p].label,
-                      percentString(bench::averageOf(hit[p])),
-                      percentString(bench::averageOf(miss[p])), "",
-                      percentString(bench::averageOf(saved[p]))});
-    }
-    table.print(std::cout);
-    return 0;
+    return pcap::bench::runReportStandalone("related");
 }

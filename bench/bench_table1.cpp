@@ -1,63 +1,16 @@
 /**
  * @file
- * Table 1 — applications and execution details: number of
- * executions, global and local idle-period counts, total traced
- * I/Os. Paper values printed alongside for comparison.
+ * Table 1 — applications and execution details.
+ *
+ * Thin wrapper: the report itself lives in reports.cpp so bench_all
+ * can render it from a shared parallel experiment engine; this
+ * binary keeps the historical one-report-per-process interface.
  */
 
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace pcap;
-
-namespace {
-
-struct PaperRow
-{
-    const char *app;
-    int executions;
-    int globalIdle;
-    int localIdle;
-    long totalIos;
-};
-
-constexpr PaperRow kPaper[] = {
-    {"mozilla", 49, 365, 1001, 90843},
-    {"writer", 33, 112, 358, 133016},
-    {"impress", 19, 87, 234, 220455},
-    {"xemacs", 37, 94, 103, 79720},
-    {"nedit", 29, 29, 29, 6663},
-    {"mplayer", 31, 51, 111, 512433},
-};
-
-} // namespace
+#include "reports.hpp"
 
 int
 main()
 {
-    bench::printHeader(
-        "Table 1: applications and execution details",
-        "measured = this reproduction's synthetic workload; "
-        "paper = Gniady et al., Table 1.");
-
-    sim::Evaluation eval(bench::standardConfig());
-
-    TextTable table;
-    table.setHeader({"app", "executions", "global idle", "(paper)",
-                     "local idle", "(paper)", "total I/Os",
-                     "(paper)"});
-
-    for (const PaperRow &paper : kPaper) {
-        const auto row = eval.table1(paper.app);
-        table.addRow({paper.app, std::to_string(row.executions),
-                      std::to_string(row.globalIdlePeriods),
-                      std::to_string(paper.globalIdle),
-                      std::to_string(row.localIdlePeriods),
-                      std::to_string(paper.localIdle),
-                      std::to_string(row.totalIos),
-                      std::to_string(paper.totalIos)});
-    }
-    table.print(std::cout);
-    return 0;
+    return pcap::bench::runReportStandalone("table1");
 }

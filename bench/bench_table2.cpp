@@ -1,60 +1,16 @@
 /**
  * @file
- * Table 2 — the states and state transitions of the simulated disk
- * (Fujitsu MHF 2043AT), plus a consistency check: the breakeven time
- * derived from the other parameters must agree with the quoted
- * 5.43 s.
+ * Table 2 — states and transitions of the simulated disk (Fujitsu MHF 2043AT).
+ *
+ * Thin wrapper: the report itself lives in reports.cpp so bench_all
+ * can render it from a shared parallel experiment engine; this
+ * binary keeps the historical one-report-per-process interface.
  */
 
-#include <iostream>
-
-#include "bench_common.hpp"
-#include "power/disk_params.hpp"
-
-using namespace pcap;
+#include "reports.hpp"
 
 int
 main()
 {
-    bench::printHeader(
-        "Table 2: states and state transitions of the simulated disk",
-        "Fujitsu MHF 2043AT, as used throughout the paper.");
-
-    const power::DiskParams disk = power::fujitsuMhf2043at();
-
-    TextTable table;
-    table.setHeader({"parameter", "value", "paper"});
-    table.addRow({"Busy power", fixedString(disk.busyPowerW, 2) + " W",
-                  "2.2 W"});
-    table.addRow({"Idle power", fixedString(disk.idlePowerW, 2) + " W",
-                  "0.95 W"});
-    table.addRow({"Standby power",
-                  fixedString(disk.standbyPowerW, 2) + " W",
-                  "0.13 W"});
-    table.addRow({"Spin-up energy",
-                  fixedString(disk.spinUpEnergyJ, 1) + " J", "4.4 J"});
-    table.addRow({"Shutdown energy",
-                  fixedString(disk.shutdownEnergyJ, 2) + " J",
-                  "0.36 J"});
-    table.addRow({"Spin-up time",
-                  fixedString(usToSeconds(disk.spinUpTime), 2) + " s",
-                  "1.6 s"});
-    table.addRow({"Shutdown time",
-                  fixedString(usToSeconds(disk.shutdownTime), 2) +
-                      " s",
-                  "0.67 s"});
-    table.addRow({"Breakeven time (quoted)",
-                  fixedString(usToSeconds(disk.breakevenTime), 2) +
-                      " s",
-                  "5.43 s"});
-    table.addRow({"Breakeven time (derived)",
-                  fixedString(disk.derivedBreakevenSeconds(), 2) +
-                      " s",
-                  "-"});
-    table.print(std::cout);
-
-    const std::string problem = disk.validate();
-    std::cout << "\nconsistency check: "
-              << (problem.empty() ? "OK" : problem) << "\n";
-    return problem.empty() ? 0 : 1;
+    return pcap::bench::runReportStandalone("table2");
 }

@@ -1,71 +1,16 @@
 /**
  * @file
- * Table 3 — storage requirements of the prediction tables: the
- * number of entries each PCAP variant has learned per application
- * after all executions, and the bytes needed to persist them.
+ * Table 3 — prediction-table storage requirements.
  *
- * Paper reference: PCAP 6-72 entries per application, PCAPfh up to
- * 139 entries = 556 bytes for mozilla; storage is never a concern.
+ * Thin wrapper: the report itself lives in reports.cpp so bench_all
+ * can render it from a shared parallel experiment engine; this
+ * binary keeps the historical one-report-per-process interface.
  */
 
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace pcap;
-
-namespace {
-
-struct PaperRow
-{
-    const char *app;
-    int pcap, pcaph, pcapf, pcapfh;
-};
-
-constexpr PaperRow kPaper[] = {
-    {"mozilla", 72, 99, 129, 139}, {"writer", 30, 36, 30, 36},
-    {"impress", 34, 44, 44, 47},   {"xemacs", 13, 16, 13, 16},
-    {"nedit", 6, 6, 6, 6},         {"mplayer", 24, 24, 26, 26},
-};
-
-} // namespace
+#include "reports.hpp"
 
 int
 main()
 {
-    bench::printHeader(
-        "Table 3: prediction-table storage requirements (entries)",
-        "Paper: 6-139 entries; mozilla PCAPfh = 139 entries "
-        "(556 bytes).");
-
-    sim::Evaluation eval(bench::standardConfig());
-    const std::vector<sim::PolicyConfig> policies = {
-        sim::PolicyConfig::pcapBase(),
-        sim::PolicyConfig::pcapHistory(),
-        sim::PolicyConfig::pcapFd(),
-        sim::PolicyConfig::pcapFdHistory(),
-    };
-
-    TextTable table;
-    table.setHeader({"app", "PCAP", "(paper)", "PCAPh", "(paper)",
-                     "PCAPf", "(paper)", "PCAPfh", "(paper)",
-                     "bytes (PCAPfh)"});
-
-    for (const PaperRow &paper : kPaper) {
-        std::vector<std::size_t> entries;
-        for (const auto &policy : policies)
-            entries.push_back(
-                eval.globalRun(paper.app, policy).tableEntries);
-        table.addRow({paper.app, std::to_string(entries[0]),
-                      std::to_string(paper.pcap),
-                      std::to_string(entries[1]),
-                      std::to_string(paper.pcaph),
-                      std::to_string(entries[2]),
-                      std::to_string(paper.pcapf),
-                      std::to_string(entries[3]),
-                      std::to_string(paper.pcapfh),
-                      std::to_string(entries[3] * 4)});
-    }
-    table.print(std::cout);
-    return 0;
+    return pcap::bench::runReportStandalone("table3");
 }

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The paper's tables and figures as reusable report functions.
+ *
+ * Every report renders through any EvaluationApi — the per-figure
+ * binaries pass a serial sim::Evaluation (and stay byte-identical to
+ * their historical output), while bench_all passes one shared
+ * sim::ParallelEvaluation so the whole suite reuses a single
+ * generated workload and memoized simulation cells.
+ *
+ * Each report also enumerates the standard-config simulation cells
+ * it will query, so bench_all can prefetch the union across the
+ * thread pool before rendering.
+ */
+
+#ifndef PCAP_BENCH_REPORTS_HPP
+#define PCAP_BENCH_REPORTS_HPP
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace pcap::bench {
+
+/** The fixed seed all benches share (numbers must be reproducible). */
+constexpr std::uint64_t kBenchSeed = 42;
+
+/** Standard evaluation: paper parameters, full execution counts. */
+inline sim::ExperimentConfig
+standardConfig()
+{
+    sim::ExperimentConfig config;
+    config.seed = kBenchSeed;
+    return config;
+}
+
+/** Average of per-application values (the paper averages across
+ * applications, never pooling periods). */
+double averageOf(const std::vector<double> &values);
+
+/**
+ * Builds an experiment engine for a non-standard config (the
+ * file-cache ablation sweeps cache sizes, each a separate workload).
+ */
+using EvalFactory = std::function<std::unique_ptr<sim::EvaluationApi>(
+    const sim::ExperimentConfig &)>;
+
+/** Everything a report needs to render. */
+struct ReportContext
+{
+    /** Engine configured with standardConfig(). */
+    sim::EvaluationApi &eval;
+
+    /** Factory for engines with other configs. */
+    EvalFactory makeEval;
+};
+
+/** One table/figure of the evaluation suite. */
+struct Report
+{
+    /** Short name for --only selection and JSON keys. */
+    std::string name;
+
+    /** The historical standalone binary. */
+    std::string binary;
+
+    /** Render the report (text identical to the old binary). */
+    void (*run)(ReportContext &ctx, std::ostream &os);
+
+    /** Standard-config cells the report queries, for prefetching.
+     * Empty for reports that use other configs or none. */
+    std::vector<sim::Cell> (*cells)();
+};
+
+/** All reports, in the canonical EXPERIMENTS.md order. */
+const std::vector<Report> &allReports();
+
+/**
+ * Convenience for the thin per-figure wrappers: run one report with
+ * a private serial Evaluation on std::cout.
+ * @return the process exit code.
+ */
+int runReportStandalone(const std::string &name);
+
+} // namespace pcap::bench
+
+#endif // PCAP_BENCH_REPORTS_HPP

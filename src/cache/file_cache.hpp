@@ -54,6 +54,8 @@ struct CacheStats
     std::uint64_t writebackBlocks = 0; ///< dirty blocks written back
     std::uint64_t flushRuns = 0;  ///< periodic flush activations
 
+    bool operator==(const CacheStats &other) const = default;
+
     /** Hit ratio in [0,1]; 0 when there were no lookups. */
     double hitRatio() const
     {

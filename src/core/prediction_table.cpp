@@ -26,6 +26,14 @@ TableKeyHash::operator()(const TableKey &key) const
 PredictionTable::PredictionTable(std::size_t capacity)
     : capacity_(capacity)
 {
+    // The paper's tables stay small (Table 3 tops out at 139
+    // entries), but every table starts life with a burst of
+    // trainings; pre-sizing the buckets keeps the hot lookup/train
+    // path free of incremental rehashes. A load factor of 0.5
+    // trades a few KB for shorter probe chains on the per-access
+    // lookup path.
+    entries_.max_load_factor(0.5f);
+    entries_.reserve(capacity_ != 0 ? capacity_ : 256);
 }
 
 bool

@@ -1,11 +1,105 @@
 #include "sim/experiment.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/app_model.hpp"
 
 namespace pcap::sim {
+
+namespace {
+
+/**
+ * Generate every execution of @p app from seed, exactly as the
+ * original serial loop did: the per-execution RNGs are forked
+ * sequentially from the app RNG, so results do not depend on how
+ * many workers later expand the traces.
+ */
+std::vector<ExecutionInput>
+generateInputs(const ExperimentConfig &config, const std::string &app,
+               unsigned jobs)
+{
+    const auto model = workload::makeApp(app);
+    if (!model)
+        fatal("Evaluation: unknown application '" + app + "'");
+
+    int executions = model->info().executions;
+    if (config.maxExecutions > 0)
+        executions = std::min(executions, config.maxExecutions);
+
+    std::vector<Rng> rngs;
+    rngs.reserve(executions);
+    Rng app_rng(config.seed ^ hashString(app));
+    for (int execution = 0; execution < executions; ++execution)
+        rngs.push_back(
+            app_rng.fork(static_cast<std::uint64_t>(execution)));
+
+    std::vector<ExecutionInput> result(executions);
+    pcap::parallelFor(
+        jobs, static_cast<std::size_t>(executions),
+        [&](std::size_t i) {
+            const trace::Trace trace =
+                model->generate(static_cast<int>(i), rngs[i]);
+            result[i] =
+                ExecutionInput::fromTrace(trace, config.cache);
+        });
+    return result;
+}
+
+} // namespace
+
+WorkloadKey
+ExperimentConfig::workloadKey(const std::string &app) const
+{
+    WorkloadKey key;
+    key.seed = seed;
+    key.cache = cache;
+    key.app = app;
+    key.maxExecutions = maxExecutions;
+    return key;
+}
+
+std::string
+policyCacheKey(const PolicyConfig &policy)
+{
+    std::ostringstream os;
+    os << "kind=" << static_cast<int>(policy.kind)
+       << "|label=" << policy.label << "|timeout=" << policy.timeout
+       << "|reuse=" << policy.reuseTables;
+    os << "|lt=" << policy.lt.historyLength << ','
+       << policy.lt.waitWindow << ',' << policy.lt.timeout << ','
+       << policy.lt.breakeven << ',' << policy.lt.backupEnabled << ','
+       << static_cast<int>(policy.lt.counterMax) << ','
+       << policy.lt.minTrainings;
+    os << "|pcap=" << policy.pcap.useHistory << ','
+       << policy.pcap.useFd << ',' << policy.pcap.historyLength << ','
+       << policy.pcap.waitWindow << ',' << policy.pcap.timeout << ','
+       << policy.pcap.breakeven << ',' << policy.pcap.backupEnabled
+       << ',' << policy.pcap.unlearnOnMisprediction;
+    os << "|ea=" << policy.expAverage.alpha << ','
+       << policy.expAverage.waitWindow << ','
+       << policy.expAverage.timeout << ','
+       << policy.expAverage.breakeven << ','
+       << policy.expAverage.backupEnabled;
+    os << "|sb=" << policy.busyRatio.busyThreshold << ','
+       << policy.busyRatio.burstGap << ','
+       << policy.busyRatio.waitWindow << ','
+       << policy.busyRatio.timeout << ','
+       << policy.busyRatio.backupEnabled;
+    os << "|atp=" << policy.adaptive.initialTimeout << ','
+       << policy.adaptive.minTimeout << ','
+       << policy.adaptive.maxTimeout << ','
+       << policy.adaptive.decreaseFactor << ','
+       << policy.adaptive.increaseFactor << ','
+       << policy.adaptive.breakeven;
+    return os.str();
+}
+
+// ---------------------------------------------------------------
+// Serial Evaluation
+// ---------------------------------------------------------------
 
 Evaluation::Evaluation(ExperimentConfig config)
     : config_(std::move(config)),
@@ -19,33 +113,15 @@ Evaluation::inputs(const std::string &app)
     auto it = inputs_.find(app);
     if (it != inputs_.end())
         return it->second;
-
-    const auto model = workload::makeApp(app);
-    if (!model)
-        fatal("Evaluation: unknown application '" + app + "'");
-
-    int executions = model->info().executions;
-    if (config_.maxExecutions > 0)
-        executions = std::min(executions, config_.maxExecutions);
-
-    std::vector<ExecutionInput> result;
-    result.reserve(executions);
-    Rng app_rng(config_.seed ^ hashString(app));
-    for (int execution = 0; execution < executions; ++execution) {
-        const trace::Trace trace = model->generate(
-            execution,
-            app_rng.fork(static_cast<std::uint64_t>(execution)));
-        result.push_back(
-            ExecutionInput::fromTrace(trace, config_.cache));
-    }
-    return inputs_.emplace(app, std::move(result)).first->second;
+    return inputs_.emplace(app, generateInputs(config_, app, 1))
+        .first->second;
 }
 
-Evaluation::Table1Row
+sim::Table1Row
 Evaluation::table1(const std::string &app)
 {
     const auto &execs = inputs(app);
-    Table1Row row;
+    sim::Table1Row row;
     row.executions = static_cast<int>(execs.size());
     for (const auto &input : execs) {
         row.globalIdlePeriods +=
@@ -65,13 +141,25 @@ Evaluation::localAccuracy(const std::string &app,
     return runLocal(inputs(app), session, config_.sim);
 }
 
-Evaluation::GlobalOutcome
+sim::GlobalOutcome
 Evaluation::globalRun(const std::string &app,
                       const PolicyConfig &policy)
 {
     PolicySession session(policy);
-    GlobalOutcome outcome;
+    sim::GlobalOutcome outcome;
     outcome.run = runGlobal(inputs(app), session, config_.sim);
+    outcome.tableEntries = session.tableEntries();
+    return outcome;
+}
+
+sim::GlobalOutcome
+Evaluation::multiStateRun(const std::string &app,
+                          const PolicyConfig &policy)
+{
+    PolicySession session(policy);
+    sim::GlobalOutcome outcome;
+    outcome.run =
+        runGlobalMultiState(inputs(app), session, config_.sim);
     outcome.tableEntries = session.tableEntries();
     return outcome;
 }
@@ -98,6 +186,172 @@ Evaluation::idealRun(const std::string &app)
                  .first;
     }
     return it->second;
+}
+
+// ---------------------------------------------------------------
+// ParallelEvaluation
+// ---------------------------------------------------------------
+
+ParallelEvaluation::ParallelEvaluation(ExperimentConfig config,
+                                       ParallelOptions options)
+    : config_(std::move(config)), options_(options),
+      appNames_(workload::standardAppNames()),
+      cache_(options.cacheDir)
+{
+    if (options_.jobs == 0)
+        options_.jobs = ThreadPool::hardwareJobs();
+}
+
+template <typename T>
+std::shared_ptr<ParallelEvaluation::Memo<T>>
+ParallelEvaluation::slot(
+    std::map<std::string, std::shared_ptr<Memo<T>>> &map,
+    const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &entry = map[key];
+    if (!entry)
+        entry = std::make_shared<Memo<T>>();
+    return entry;
+}
+
+const std::vector<ExecutionInput> &
+ParallelEvaluation::inputs(const std::string &app)
+{
+    auto memo = slot(inputs_, app);
+    std::call_once(memo->once, [&] {
+        const WorkloadKey key = config_.workloadKey(app);
+        if (cache_.load(key, memo->value))
+            return;
+        memo->value = generateInputs(config_, app, options_.jobs);
+        ++generated_;
+        cache_.store(key, memo->value);
+    });
+    return memo->value;
+}
+
+sim::Table1Row
+ParallelEvaluation::table1(const std::string &app)
+{
+    // Cheap relative to a run; recomputed from the cached inputs.
+    const auto &execs = inputs(app);
+    sim::Table1Row row;
+    row.executions = static_cast<int>(execs.size());
+    for (const auto &input : execs) {
+        row.globalIdlePeriods +=
+            input.countGlobalOpportunities(config_.sim.breakeven());
+        row.localIdlePeriods +=
+            input.countLocalOpportunities(config_.sim.breakeven());
+        row.totalIos += input.tracedIos;
+    }
+    return row;
+}
+
+AccuracyStats
+ParallelEvaluation::localAccuracy(const std::string &app,
+                                  const PolicyConfig &policy)
+{
+    auto memo =
+        slot(locals_, app + "\x1f" + policyCacheKey(policy));
+    std::call_once(memo->once, [&] {
+        PolicySession session(policy);
+        memo->value = runLocal(inputs(app), session, config_.sim);
+    });
+    return memo->value;
+}
+
+sim::GlobalOutcome
+ParallelEvaluation::globalRun(const std::string &app,
+                              const PolicyConfig &policy)
+{
+    auto memo =
+        slot(globals_, "g\x1f" + app + "\x1f" + policyCacheKey(policy));
+    std::call_once(memo->once, [&] {
+        PolicySession session(policy);
+        memo->value.run = runGlobal(inputs(app), session, config_.sim);
+        memo->value.tableEntries = session.tableEntries();
+    });
+    return memo->value;
+}
+
+sim::GlobalOutcome
+ParallelEvaluation::multiStateRun(const std::string &app,
+                                  const PolicyConfig &policy)
+{
+    auto memo =
+        slot(globals_, "m\x1f" + app + "\x1f" + policyCacheKey(policy));
+    std::call_once(memo->once, [&] {
+        PolicySession session(policy);
+        memo->value.run =
+            runGlobalMultiState(inputs(app), session, config_.sim);
+        memo->value.tableEntries = session.tableEntries();
+    });
+    return memo->value;
+}
+
+const RunResult &
+ParallelEvaluation::baseRun(const std::string &app)
+{
+    auto memo = slot(runs_, "base\x1f" + app);
+    std::call_once(memo->once, [&] {
+        memo->value = runBase(inputs(app), config_.sim);
+    });
+    return memo->value;
+}
+
+const RunResult &
+ParallelEvaluation::idealRun(const std::string &app)
+{
+    auto memo = slot(runs_, "ideal\x1f" + app);
+    std::call_once(memo->once, [&] {
+        memo->value = runIdeal(inputs(app), config_.sim);
+    });
+    return memo->value;
+}
+
+void
+ParallelEvaluation::computeCell(const Cell &cell)
+{
+    switch (cell.mode) {
+    case CellMode::Table1:
+        table1(cell.app);
+        break;
+    case CellMode::Local:
+        localAccuracy(cell.app, cell.policy);
+        break;
+    case CellMode::Global:
+        globalRun(cell.app, cell.policy);
+        break;
+    case CellMode::MultiState:
+        multiStateRun(cell.app, cell.policy);
+        break;
+    case CellMode::Base:
+        baseRun(cell.app);
+        break;
+    case CellMode::Ideal:
+        idealRun(cell.app);
+        break;
+    }
+}
+
+void
+ParallelEvaluation::prefetch(const std::vector<Cell> &cells)
+{
+    // Make inputs resident first: cell workers would otherwise
+    // serialize on the per-app call_once, and generation has its
+    // own inner parallelism to exploit.
+    for (const Cell &cell : cells)
+        inputs(cell.app);
+
+    pcap::parallelFor(options_.jobs, cells.size(),
+                      [&](std::size_t i) { computeCell(cells[i]); });
+}
+
+void
+ParallelEvaluation::prefetchInputs()
+{
+    pcap::parallelFor(options_.jobs, appNames_.size(),
+                      [&](std::size_t i) { inputs(appNames_[i]); });
 }
 
 } // namespace pcap::sim

@@ -3,16 +3,31 @@
  * Experiment driver: ties the workload models, the file cache and
  * the simulator together, so every bench binary and integration test
  * asks one object for the paper's numbers.
+ *
+ * Two implementations share the EvaluationApi interface:
+ *
+ *  - Evaluation: the original strictly serial driver; the reference
+ *    for every number in EXPERIMENTS.md.
+ *  - ParallelEvaluation: the experiment engine behind bench_all.
+ *    Generates each application's inputs exactly once behind a
+ *    thread-safe memoized cache (optionally persisted on disk, see
+ *    input_cache.hpp), memoizes every (app x policy x mode) cell,
+ *    and can prefetch a batch of cells across a thread pool. Each
+ *    cell owns a private PolicySession, so results are identical to
+ *    the serial path no matter the thread count.
  */
 
 #ifndef PCAP_SIM_EXPERIMENT_HPP
 #define PCAP_SIM_EXPERIMENT_HPP
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "sim/input.hpp"
+#include "sim/input_cache.hpp"
 #include "sim/policy.hpp"
 #include "sim/simulator.hpp"
 
@@ -30,62 +45,120 @@ struct ExperimentConfig
      * (fast integration tests); 0 runs the paper's Table 1 counts.
      */
     int maxExecutions = 0;
+
+    /** The workload-cache identity of one application's inputs. */
+    WorkloadKey workloadKey(const std::string &app) const;
+};
+
+/** One row of Table 1. */
+struct Table1Row
+{
+    int executions = 0;
+    std::uint64_t globalIdlePeriods = 0;
+    std::uint64_t localIdlePeriods = 0;
+    std::uint64_t totalIos = 0;
+};
+
+/** Result of a global run plus the learned-state size. */
+struct GlobalOutcome
+{
+    RunResult run;
+    std::size_t tableEntries = 0; ///< Table 3
 };
 
 /**
- * Lazily generates, caches and evaluates the workload. Inputs are
- * deterministic functions of the config seed, so every bench binary
- * reproduces identical numbers.
+ * Stable identity of a PolicyConfig for result memoization: every
+ * field that can alter simulation output, canonically serialized.
  */
-class Evaluation
+std::string policyCacheKey(const PolicyConfig &policy);
+
+/**
+ * What every experiment driver can answer. All methods are
+ * deterministic functions of (config, arguments); implementations
+ * may cache aggressively.
+ */
+class EvaluationApi
+{
+  public:
+    virtual ~EvaluationApi() = default;
+
+    /** The configuration in use. */
+    virtual const ExperimentConfig &config() const = 0;
+
+    /** The six application names of Table 1. */
+    virtual const std::vector<std::string> &appNames() const = 0;
+
+    /** Post-cache inputs of every execution of @p app (cached). */
+    virtual const std::vector<ExecutionInput> &
+    inputs(const std::string &app) = 0;
+
+    /** Compute Table 1 for @p app from the generated workload. */
+    virtual Table1Row table1(const std::string &app) = 0;
+
+    /** Figure 6: local accuracy of @p policy on @p app. */
+    virtual AccuracyStats
+    localAccuracy(const std::string &app,
+                  const PolicyConfig &policy) = 0;
+
+    /** Figures 7-10: global run of @p policy on @p app. */
+    virtual GlobalOutcome globalRun(const std::string &app,
+                                    const PolicyConfig &policy) = 0;
+
+    /** Section 7 extension: multi-state global run. */
+    virtual GlobalOutcome
+    multiStateRun(const std::string &app,
+                  const PolicyConfig &policy) = 0;
+
+    /** Figure 8 "Base": no power management (cached). */
+    virtual const RunResult &baseRun(const std::string &app) = 0;
+
+    /** Figure 8 "Ideal": the oracle (cached). */
+    virtual const RunResult &idealRun(const std::string &app) = 0;
+};
+
+/**
+ * Lazily generates, caches and evaluates the workload — strictly
+ * serially, on the calling thread. Inputs are deterministic
+ * functions of the config seed, so every bench binary reproduces
+ * identical numbers.
+ */
+class Evaluation : public EvaluationApi
 {
   public:
     explicit Evaluation(ExperimentConfig config = {});
 
-    /** The configuration in use. */
-    const ExperimentConfig &config() const { return config_; }
+    // Compatibility aliases: these used to be nested types.
+    using Table1Row = sim::Table1Row;
+    using GlobalOutcome = sim::GlobalOutcome;
 
-    /** The six application names of Table 1. */
-    const std::vector<std::string> &appNames() const
+    const ExperimentConfig &config() const override
+    {
+        return config_;
+    }
+
+    const std::vector<std::string> &appNames() const override
     {
         return appNames_;
     }
 
-    /** Post-cache inputs of every execution of @p app (cached). */
-    const std::vector<ExecutionInput> &inputs(const std::string &app);
+    const std::vector<ExecutionInput> &
+    inputs(const std::string &app) override;
 
-    /** One row of Table 1. */
-    struct Table1Row
-    {
-        int executions = 0;
-        std::uint64_t globalIdlePeriods = 0;
-        std::uint64_t localIdlePeriods = 0;
-        std::uint64_t totalIos = 0;
-    };
+    sim::Table1Row table1(const std::string &app) override;
 
-    /** Compute Table 1 for @p app from the generated workload. */
-    Table1Row table1(const std::string &app);
-
-    /** Figure 6: local accuracy of @p policy on @p app. */
     AccuracyStats localAccuracy(const std::string &app,
-                                const PolicyConfig &policy);
+                                const PolicyConfig &policy) override;
 
-    /** Result of a global run plus the learned-state size. */
-    struct GlobalOutcome
-    {
-        RunResult run;
-        std::size_t tableEntries = 0; ///< Table 3
-    };
+    sim::GlobalOutcome globalRun(const std::string &app,
+                                 const PolicyConfig &policy) override;
 
-    /** Figures 7-10: global run of @p policy on @p app. */
-    GlobalOutcome globalRun(const std::string &app,
-                            const PolicyConfig &policy);
+    sim::GlobalOutcome
+    multiStateRun(const std::string &app,
+                  const PolicyConfig &policy) override;
 
-    /** Figure 8 "Base": no power management (cached). */
-    const RunResult &baseRun(const std::string &app);
+    const RunResult &baseRun(const std::string &app) override;
 
-    /** Figure 8 "Ideal": the oracle (cached). */
-    const RunResult &idealRun(const std::string &app);
+    const RunResult &idealRun(const std::string &app) override;
 
   private:
     ExperimentConfig config_;
@@ -93,6 +166,130 @@ class Evaluation
     std::map<std::string, std::vector<ExecutionInput>> inputs_;
     std::map<std::string, RunResult> baseRuns_;
     std::map<std::string, RunResult> idealRuns_;
+};
+
+/** How one simulation cell evaluates its inputs. */
+enum class CellMode {
+    Table1,     ///< workload statistics only
+    Local,      ///< per-process accuracy (Figure 6)
+    Global,     ///< full multiprocess run (Figures 7-10)
+    MultiState, ///< Section 7 extension
+    Base,       ///< no power management
+    Ideal,      ///< oracle
+};
+
+/** One independent unit of work for ParallelEvaluation::prefetch. */
+struct Cell
+{
+    CellMode mode = CellMode::Global;
+    std::string app;
+    PolicyConfig policy; ///< ignored by Table1/Base/Ideal cells
+};
+
+/** Options of the parallel experiment engine. */
+struct ParallelOptions
+{
+    /** Worker threads for prefetch() and generation; 1 = inline. */
+    unsigned jobs = 1;
+
+    /**
+     * On-disk workload cache directory; empty disables persistence
+     * (inputs are still memoized in memory).
+     */
+    std::string cacheDir;
+};
+
+/**
+ * The parallel experiment engine. Thread-safe: any method may be
+ * called from any thread; equal queries are computed once and
+ * memoized. prefetch() fans a batch of cells across a thread pool
+ * and joins — afterwards the plain accessors are cheap lookups.
+ *
+ * Results are bit-identical to Evaluation's: inputs are the same
+ * deterministic function of the seed (whether generated, memoized or
+ * deserialized from the workload cache), and each cell runs the same
+ * serial simulator on a private PolicySession.
+ */
+class ParallelEvaluation : public EvaluationApi
+{
+  public:
+    explicit ParallelEvaluation(ExperimentConfig config = {},
+                                ParallelOptions options = {});
+
+    const ExperimentConfig &config() const override
+    {
+        return config_;
+    }
+
+    const std::vector<std::string> &appNames() const override
+    {
+        return appNames_;
+    }
+
+    const std::vector<ExecutionInput> &
+    inputs(const std::string &app) override;
+
+    sim::Table1Row table1(const std::string &app) override;
+
+    AccuracyStats localAccuracy(const std::string &app,
+                                const PolicyConfig &policy) override;
+
+    sim::GlobalOutcome globalRun(const std::string &app,
+                                 const PolicyConfig &policy) override;
+
+    sim::GlobalOutcome
+    multiStateRun(const std::string &app,
+                  const PolicyConfig &policy) override;
+
+    const RunResult &baseRun(const std::string &app) override;
+
+    const RunResult &idealRun(const std::string &app) override;
+
+    /**
+     * Compute every cell (and the inputs they need) across the
+     * worker pool, then join. Duplicate cells cost nothing extra.
+     */
+    void prefetch(const std::vector<Cell> &cells);
+
+    /** Make every application's inputs resident, in parallel. */
+    void prefetchInputs();
+
+    /** The engine's workload cache (for hit/miss reporting). */
+    const WorkloadCache &workloadCache() const { return cache_; }
+
+    /** Applications generated from seed (disk-cache misses). */
+    std::uint64_t generatedApps() const { return generated_; }
+
+  private:
+    template <typename T> struct Memo
+    {
+        std::once_flag once;
+        T value{};
+    };
+
+    /** Memo slot for @p key in @p map, created under the lock. */
+    template <typename T>
+    std::shared_ptr<Memo<T>>
+    slot(std::map<std::string, std::shared_ptr<Memo<T>>> &map,
+         const std::string &key);
+
+    void computeCell(const Cell &cell);
+
+    ExperimentConfig config_;
+    ParallelOptions options_;
+    std::vector<std::string> appNames_;
+    WorkloadCache cache_;
+
+    std::mutex mutex_; ///< guards the maps below (not the memos)
+    std::map<std::string,
+             std::shared_ptr<Memo<std::vector<ExecutionInput>>>>
+        inputs_;
+    std::map<std::string, std::shared_ptr<Memo<AccuracyStats>>>
+        locals_;
+    std::map<std::string, std::shared_ptr<Memo<sim::GlobalOutcome>>>
+        globals_;
+    std::map<std::string, std::shared_ptr<Memo<RunResult>>> runs_;
+    std::atomic<std::uint64_t> generated_{0};
 };
 
 } // namespace pcap::sim

@@ -1,6 +1,6 @@
 #include "sim/input.hpp"
 
-#include <map>
+#include <algorithm>
 
 #include "util/logging.hpp"
 
@@ -55,18 +55,47 @@ ExecutionInput::fromTrace(const trace::Trace &trace,
 
     for (const auto &[pid, span] : spans)
         input.processes.push_back(span);
+    input.finalize();
     return input;
 }
 
-std::vector<trace::DiskAccess>
+void
+ExecutionInput::finalize()
+{
+    accessesByPid_.clear();
+    for (const auto &access : accesses)
+        accessesByPid_[access.pid].push_back(access);
+
+    simEvents_.clear();
+    simEvents_.reserve(accesses.size() + 2 * processes.size());
+    for (const auto &span : processes) {
+        simEvents_.push_back(
+            {span.start, SimEventKind::ProcessStart, span.pid, 0});
+        simEvents_.push_back(
+            {span.end, SimEventKind::ProcessExit, span.pid, 0});
+    }
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        simEvents_.push_back({accesses[i].time, SimEventKind::Access,
+                              accesses[i].pid, i});
+    }
+    std::sort(simEvents_.begin(), simEvents_.end());
+    finalized_ = true;
+}
+
+void
+ExecutionInput::ensureFinalized() const
+{
+    if (!finalized_)
+        const_cast<ExecutionInput *>(this)->finalize();
+}
+
+const std::vector<trace::DiskAccess> &
 ExecutionInput::accessesOf(Pid pid) const
 {
-    std::vector<trace::DiskAccess> result;
-    for (const auto &access : accesses) {
-        if (access.pid == pid)
-            result.push_back(access);
-    }
-    return result;
+    static const std::vector<trace::DiskAccess> kEmpty;
+    ensureFinalized();
+    const auto it = accessesByPid_.find(pid);
+    return it == accessesByPid_.end() ? kEmpty : it->second;
 }
 
 const ProcessSpan &
@@ -100,9 +129,7 @@ ExecutionInput::countLocalOpportunities(TimeUs breakeven) const
     std::uint64_t count = 0;
     for (const auto &span : processes) {
         TimeUs prev = -1;
-        for (const auto &access : accesses) {
-            if (access.pid != span.pid)
-                continue;
+        for (const auto &access : accessesOf(span.pid)) {
             if (prev >= 0 && access.time - prev > breakeven)
                 ++count;
             prev = access.time;
@@ -111,6 +138,17 @@ ExecutionInput::countLocalOpportunities(TimeUs breakeven) const
             ++count;
     }
     return count;
+}
+
+bool
+ExecutionInput::sameContentAs(const ExecutionInput &other) const
+{
+    return app == other.app && execution == other.execution &&
+           endTime == other.endTime &&
+           tracedIos == other.tracedIos &&
+           cacheStats == other.cacheStats &&
+           accesses == other.accesses &&
+           processes == other.processes;
 }
 
 } // namespace pcap::sim

@@ -3,11 +3,20 @@
  * Simulator input: one execution of one application after the
  * file-cache filter — the disk access stream, the process lifetimes
  * (from the traced fork/exit events) and the pdflush pseudo-process.
+ *
+ * An ExecutionInput is immutable once built, and the same input is
+ * replayed by dozens of policy runs per bench invocation. It
+ * therefore precomputes everything a replay needs that depends only
+ * on the input: the per-process access slices (accessesOf used to
+ * copy the whole stream per call) and the merged, time-sorted event
+ * list the global simulation walks (previously re-sorted on every
+ * run).
  */
 
 #ifndef PCAP_SIM_INPUT_HPP
 #define PCAP_SIM_INPUT_HPP
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -24,6 +33,34 @@ struct ProcessSpan
     Pid pid = 0;
     TimeUs start = 0;
     TimeUs end = 0;
+
+    bool operator==(const ProcessSpan &other) const = default;
+};
+
+/** Event kinds of the global replay, in same-time order. */
+enum class SimEventKind : std::uint8_t {
+    ProcessStart = 0,
+    Access = 1,
+    ProcessExit = 2,
+};
+
+/** One entry of the precomputed merged replay schedule. */
+struct SimEvent
+{
+    TimeUs time = 0;
+    SimEventKind kind = SimEventKind::Access;
+    Pid pid = 0;
+    std::size_t accessIndex = 0; ///< into ExecutionInput::accesses
+
+    bool operator<(const SimEvent &other) const
+    {
+        if (time != other.time)
+            return time < other.time;
+        if (kind != other.kind)
+            return static_cast<int>(kind) <
+                   static_cast<int>(other.kind);
+        return pid < other.pid;
+    }
 };
 
 /**
@@ -50,8 +87,29 @@ struct ExecutionInput
     static ExecutionInput fromTrace(const trace::Trace &trace,
                                     const cache::CacheParams &params);
 
-    /** Accesses of one process, preserving time order. */
-    std::vector<trace::DiskAccess> accessesOf(Pid pid) const;
+    /**
+     * Rebuild the derived read-only indexes (per-pid slices and the
+     * merged event schedule) from the primary fields above.
+     * fromTrace() and the deserializer call this; inputs assembled
+     * by hand (tests) are finalized lazily on first derived access.
+     * Lazy finalization is not thread-safe — finalize before
+     * sharing an input across threads (the library paths all do).
+     */
+    void finalize();
+
+    /**
+     * Accesses of one process, preserving time order. Returns a
+     * reference to a slice precomputed by finalize() — no per-call
+     * copy. Unknown pids get the shared empty vector.
+     */
+    const std::vector<trace::DiskAccess> &accessesOf(Pid pid) const;
+
+    /** The merged time-sorted replay schedule (see finalize()). */
+    const std::vector<SimEvent> &simEvents() const
+    {
+        ensureFinalized();
+        return simEvents_;
+    }
 
     /** Span of one process; panics when the pid is unknown. */
     const ProcessSpan &spanOf(Pid pid) const;
@@ -73,6 +131,17 @@ struct ExecutionInput
      * daemon's accesses split global periods.
      */
     std::uint64_t countLocalOpportunities(TimeUs breakeven) const;
+
+    /** Primary-field equality (derived indexes are excluded). */
+    bool sameContentAs(const ExecutionInput &other) const;
+
+  private:
+    void ensureFinalized() const;
+
+    mutable std::map<Pid, std::vector<trace::DiskAccess>>
+        accessesByPid_;
+    mutable std::vector<SimEvent> simEvents_;
+    mutable bool finalized_ = false;
 };
 
 } // namespace pcap::sim

@@ -59,48 +59,6 @@ localShutdownTime(const pred::ShutdownDecision &decision,
     return at < gap_end ? at : -1;
 }
 
-/** Event kinds of the global simulation, in same-time order. */
-enum class EventKind { ProcessStart = 0, Access = 1, ProcessExit = 2 };
-
-struct SimEvent
-{
-    TimeUs time;
-    EventKind kind;
-    Pid pid;
-    std::size_t accessIndex = 0;
-
-    bool
-    operator<(const SimEvent &other) const
-    {
-        if (time != other.time)
-            return time < other.time;
-        if (kind != other.kind)
-            return static_cast<int>(kind) <
-                   static_cast<int>(other.kind);
-        return pid < other.pid;
-    }
-};
-
-std::vector<SimEvent>
-buildEventList(const ExecutionInput &input)
-{
-    std::vector<SimEvent> events;
-    events.reserve(input.accesses.size() +
-                   2 * input.processes.size());
-    for (const auto &span : input.processes) {
-        events.push_back(
-            {span.start, EventKind::ProcessStart, span.pid, 0});
-        events.push_back(
-            {span.end, EventKind::ProcessExit, span.pid, 0});
-    }
-    for (std::size_t i = 0; i < input.accesses.size(); ++i) {
-        events.push_back({input.accesses[i].time, EventKind::Access,
-                          input.accesses[i].pid, i});
-    }
-    std::sort(events.begin(), events.end());
-    return events;
-}
-
 /**
  * One execution of the global simulation. With @p multi_state, a
  * primary prediction parks the disk in the low-power idle mode
@@ -166,16 +124,18 @@ runGlobalExecution(const ExecutionInput &input, PolicySession &session,
         seg_start = until;
     };
 
-    for (const SimEvent &event : buildEventList(input)) {
+    // The merged schedule is precomputed once per input and shared
+    // by every policy run replaying it (see ExecutionInput::finalize).
+    for (const SimEvent &event : input.simEvents()) {
         check_shutdown(event.time);
         switch (event.kind) {
-          case EventKind::ProcessStart:
+          case SimEventKind::ProcessStart:
             gsp.processStart(event.pid, event.time);
             break;
-          case EventKind::ProcessExit:
+          case SimEventKind::ProcessExit:
             gsp.processExit(event.pid, event.time);
             break;
-          case EventKind::Access: {
+          case SimEventKind::Access: {
             const trace::DiskAccess &access =
                 input.accesses[event.accessIndex];
             if (gap_start >= 0) {

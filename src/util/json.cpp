@@ -1,0 +1,145 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace pcap {
+
+Json
+Json::object()
+{
+    Json json;
+    json.kind_ = Kind::Object;
+    return json;
+}
+
+Json
+Json::array()
+{
+    Json json;
+    json.kind_ = Kind::Array;
+    return json;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    if (kind_ != Kind::Object)
+        panic("Json: operator[] on a non-object");
+    auto [it, inserted] = members_.try_emplace(key);
+    if (inserted)
+        keys_.push_back(key);
+    return it->second;
+}
+
+Json &
+Json::push(Json value)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    if (kind_ != Kind::Array)
+        panic("Json: push on a non-array");
+    array_.push_back(std::move(value));
+    return array_.back();
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind_ == Kind::Array)
+        return array_.size();
+    if (kind_ == Kind::Object)
+        return members_.size();
+    return 0;
+}
+
+void
+Json::writeEscaped(std::ostream &os, const std::string &text)
+{
+    os << '"';
+    for (char c : text) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                os << buffer;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+Json::writeNumber(std::ostream &os, double value)
+{
+    if (!std::isfinite(value)) {
+        os << "null"; // JSON has no inf/nan
+        return;
+    }
+    if (value == std::floor(value) &&
+        std::fabs(value) < 9.0e15) {
+        os << static_cast<long long>(value);
+        return;
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+    os << buffer;
+}
+
+void
+Json::dump(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string inner(
+        static_cast<std::size_t>(indent + 1) * 2, ' ');
+    switch (kind_) {
+      case Kind::Null: os << "null"; break;
+      case Kind::Bool: os << (bool_ ? "true" : "false"); break;
+      case Kind::Number: writeNumber(os, number_); break;
+      case Kind::String: writeEscaped(os, string_); break;
+      case Kind::Array: {
+        if (array_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << "[\n";
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            os << inner;
+            array_[i].dump(os, indent + 1);
+            os << (i + 1 < array_.size() ? ",\n" : "\n");
+        }
+        os << pad << ']';
+        break;
+      }
+      case Kind::Object: {
+        if (keys_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << "{\n";
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            os << inner;
+            writeEscaped(os, keys_[i]);
+            os << ": ";
+            members_.at(keys_[i]).dump(os, indent + 1);
+            os << (i + 1 < keys_.size() ? ",\n" : "\n");
+        }
+        os << pad << '}';
+        break;
+      }
+    }
+}
+
+} // namespace pcap

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal JSON document builder used by the bench driver to emit
+ * machine-readable results (BENCH_RESULTS.json). Write-only: the
+ * reproduction never parses JSON, it only produces it for tooling
+ * (tools/compare_bench.py) to diff against checked-in references.
+ */
+
+#ifndef PCAP_UTIL_JSON_HPP
+#define PCAP_UTIL_JSON_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pcap {
+
+/**
+ * A JSON value: null, bool, number, string, array or object.
+ * Objects keep insertion order so emitted documents diff cleanly.
+ */
+class Json
+{
+  public:
+    Json() : kind_(Kind::Null) {}
+    Json(bool value) : kind_(Kind::Bool), bool_(value) {}
+    Json(double value) : kind_(Kind::Number), number_(value) {}
+    Json(int value) : Json(static_cast<double>(value)) {}
+    Json(long value) : Json(static_cast<double>(value)) {}
+    Json(long long value) : Json(static_cast<double>(value)) {}
+    Json(unsigned value) : Json(static_cast<double>(value)) {}
+    Json(unsigned long value)
+        : Json(static_cast<double>(value)) {}
+    Json(unsigned long long value)
+        : Json(static_cast<double>(value)) {}
+    Json(const char *value) : kind_(Kind::String), string_(value) {}
+    Json(std::string value)
+        : kind_(Kind::String), string_(std::move(value)) {}
+
+    /** An empty object (distinct from null). */
+    static Json object();
+
+    /** An empty array (distinct from null). */
+    static Json array();
+
+    /** Object access; creates the key (and objectifies null). */
+    Json &operator[](const std::string &key);
+
+    /** Append to an array (arrayifies null). */
+    Json &push(Json value);
+
+    /** Number of children of an array/object; 0 otherwise. */
+    std::size_t size() const;
+
+    /** Serialize with 2-space indentation. */
+    void dump(std::ostream &os, int indent = 0) const;
+
+  private:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    static void writeEscaped(std::ostream &os,
+                             const std::string &text);
+    static void writeNumber(std::ostream &os, double value);
+
+    Kind kind_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Json> array_;
+    std::vector<std::string> keys_; ///< object insertion order
+    std::map<std::string, Json> members_;
+};
+
+} // namespace pcap
+
+#endif // PCAP_UTIL_JSON_HPP

@@ -1,0 +1,140 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+
+namespace pcap {
+
+ThreadPool::ThreadPool(unsigned jobs)
+{
+    if (jobs <= 1)
+        return; // inline mode
+    workers_.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    try {
+        wait();
+    } catch (...) {
+        // The destructor must not throw; wait() rethrows task
+        // errors for callers that care.
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        // Inline pool: run right here, mirroring worker semantics.
+        try {
+            task();
+        } catch (...) {
+            recordException(std::current_exception());
+        }
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock, [this] { return inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr error = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (workers_.empty() || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    // One shared counter instead of pre-chunking, so uneven cell
+    // costs (mplayer vs nedit) still balance across workers.
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    const std::size_t tasks =
+        std::min<std::size_t>(workers_.size(), n);
+    for (std::size_t t = 0; t < tasks; ++t) {
+        submit([next, n, &body] {
+            for (std::size_t i = (*next)++; i < n; i = (*next)++)
+                body(i);
+        });
+    }
+    wait();
+}
+
+unsigned
+ThreadPool::hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and nothing left to do
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        try {
+            task();
+        } catch (...) {
+            recordException(std::current_exception());
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+        }
+        drained_.notify_all();
+    }
+}
+
+void
+ThreadPool::recordException(std::exception_ptr error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!firstError_)
+        firstError_ = error;
+}
+
+void
+parallelFor(unsigned jobs, std::size_t n,
+            const std::function<void(std::size_t)> &body)
+{
+    ThreadPool pool(jobs);
+    pool.parallelFor(n, body);
+}
+
+} // namespace pcap

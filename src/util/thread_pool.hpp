@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A small fixed-size thread pool with a deterministic fan-out/join
+ * API for the parallel experiment engine.
+ *
+ * The pool is built for embarrassingly parallel (app x policy)
+ * simulation cells: parallelFor() hands out indices from a shared
+ * atomic counter, every worker writes only to the slots it owns, and
+ * the call joins before returning — so results are positionally
+ * deterministic no matter how the OS schedules the workers. With
+ * jobs <= 1 (or n == 1) the loop body runs inline on the calling
+ * thread and no threads are spawned, which keeps single-core runs
+ * and unit tests free of scheduling noise.
+ */
+
+#ifndef PCAP_UTIL_THREAD_POOL_HPP
+#define PCAP_UTIL_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcap {
+
+/**
+ * Fixed set of worker threads draining a shared task queue.
+ *
+ * Tasks are plain std::function<void()> thunks. The first exception
+ * thrown by any task is captured and rethrown from wait() (or the
+ * destructor swallows it after draining, so a pool can always be
+ * destroyed safely). Submitting from inside a task is allowed.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param jobs Number of worker threads; 0 and 1 both mean "run
+     *        everything inline on the calling thread".
+     */
+    explicit ThreadPool(unsigned jobs);
+
+    /** Joins all workers; pending tasks are still executed. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count (0 when the pool runs inline). */
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue one task. Inline pools run it immediately. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished, then rethrow
+     * the first captured task exception, if any.
+     */
+    void wait();
+
+    /**
+     * Deterministic fan-out/join: run body(i) for every i in [0, n),
+     * distributing indices across the pool, and return only when all
+     * calls completed. The body must confine its writes to
+     * index-owned state; under that contract the result is identical
+     * to the serial loop `for (i = 0; i < n; ++i) body(i)`.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /** A sensible default worker count for this machine. */
+    static unsigned hardwareJobs();
+
+  private:
+    void workerLoop();
+    void recordException(std::exception_ptr error);
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;     ///< workers wait for tasks
+    std::condition_variable drained_;  ///< wait() waits for idle
+    std::size_t inFlight_ = 0;         ///< queued + running tasks
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+};
+
+/**
+ * One-shot convenience: fan body(i), i in [0, n), over a transient
+ * pool of @p jobs workers and join. jobs <= 1 runs inline.
+ */
+void parallelFor(unsigned jobs, std::size_t n,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace pcap
+
+#endif // PCAP_UTIL_THREAD_POOL_HPP

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ThreadPool: deterministic fan-out/join, inline mode, exception
+ * propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace pcap {
+namespace {
+
+TEST(ThreadPool, InlineModeSpawnsNoWorkers)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.workerCount(), 0u);
+
+    int calls = 0;
+    pool.submit([&] { ++calls; });
+    pool.wait();
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    for (unsigned jobs : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(jobs);
+        std::vector<std::atomic<int>> counts(1000);
+        pool.parallelFor(counts.size(),
+                         [&](std::size_t i) { ++counts[i]; });
+        for (const auto &count : counts)
+            EXPECT_EQ(count.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ParallelForResultsMatchSerialLoop)
+{
+    const std::size_t n = 257;
+    std::vector<int> serial(n), parallel(n);
+    for (std::size_t i = 0; i < n; ++i)
+        serial[i] = static_cast<int>(i * i % 97);
+
+    parallelFor(4, n, [&](std::size_t i) {
+        parallel[i] = static_cast<int>(i * i % 97);
+    });
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingle)
+{
+    int calls = 0;
+    parallelFor(4, 0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(4, 1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ManyMoreTasksThanWorkers)
+{
+    ThreadPool pool(3);
+    std::atomic<long> sum{0};
+    pool.parallelFor(10000, [&](std::size_t i) {
+        sum += static_cast<long>(i);
+    });
+    EXPECT_EQ(sum.load(), 10000L * 9999 / 2);
+}
+
+} // namespace
+} // namespace pcap

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_RESULTS.json files for scientific equality.
+
+Usage: compare_bench.py REFERENCE CANDIDATE [--tolerance REL]
+
+Report lines are compared token by token: numeric tokens must agree
+within a relative tolerance (default 1e-9, i.e. effectively exact —
+the engine is deterministic), everything else must match exactly.
+Timings, job counts and cache-effectiveness counters are machine- and
+run-dependent, so they are ignored.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+IGNORED_TOP_KEYS = {"jobs", "timings_ms", "workload_cache"}
+NUMBER = re.compile(r"^[+-]?\d+(\.\d+)?([eE][+-]?\d+)?%?$")
+
+
+def tokens(line):
+    return line.split()
+
+
+def compare_lines(name, index, ref, got, tolerance, errors):
+    ref_tokens = tokens(ref)
+    got_tokens = tokens(got)
+    if len(ref_tokens) != len(got_tokens):
+        errors.append(f"{name} line {index + 1}: token count "
+                      f"{len(got_tokens)} != {len(ref_tokens)}\n"
+                      f"  ref: {ref}\n  got: {got}")
+        return
+    for a, b in zip(ref_tokens, got_tokens):
+        if a == b:
+            continue
+        if NUMBER.match(a) and NUMBER.match(b):
+            x = float(a.rstrip("%"))
+            y = float(b.rstrip("%"))
+            scale = max(abs(x), abs(y), 1.0)
+            if abs(x - y) <= tolerance * scale:
+                continue
+        errors.append(f"{name} line {index + 1}: '{b}' != '{a}'\n"
+                      f"  ref: {ref}\n  got: {got}")
+        return
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("reference")
+    parser.add_argument("candidate")
+    parser.add_argument("--tolerance", type=float, default=1e-9,
+                        help="relative tolerance for numeric tokens")
+    args = parser.parse_args()
+
+    with open(args.reference) as f:
+        ref = json.load(f)
+    with open(args.candidate) as f:
+        got = json.load(f)
+
+    errors = []
+    for key in ref:
+        if key in IGNORED_TOP_KEYS or key == "reports":
+            continue
+        if got.get(key) != ref[key]:
+            errors.append(f"{key}: {got.get(key)!r} != {ref[key]!r}")
+
+    ref_reports = ref.get("reports", {})
+    got_reports = got.get("reports", {})
+    for name in sorted(set(ref_reports) | set(got_reports)):
+        if name not in got_reports:
+            errors.append(f"report '{name}' missing from candidate")
+            continue
+        if name not in ref_reports:
+            errors.append(f"report '{name}' not in reference")
+            continue
+        ref_lines = ref_reports[name]["lines"]
+        got_lines = got_reports[name]["lines"]
+        if len(ref_lines) != len(got_lines):
+            errors.append(f"{name}: {len(got_lines)} lines != "
+                          f"{len(ref_lines)}")
+            continue
+        for i, (a, b) in enumerate(zip(ref_lines, got_lines)):
+            compare_lines(name, i, a, b, args.tolerance, errors)
+
+    if errors:
+        print(f"MISMATCH: {len(errors)} difference(s)")
+        for error in errors[:20]:
+            print(error)
+        if len(errors) > 20:
+            print(f"... and {len(errors) - 20} more")
+        return 1
+    print(f"OK: {len(ref_reports)} reports match "
+          f"(tolerance {args.tolerance:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# Build Release, run the test suite, run bench_all, and check the
+# results against the committed reference.
+#
+# Usage: tools/run_benchmarks.sh [jobs]
+#   jobs  worker threads for bench_all (default: hardware)
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build="$root/build"
+jobs="${1:-0}"
+
+echo "== configure + build (Release) =="
+cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build" -j "$(nproc 2>/dev/null || echo 2)"
+
+echo
+echo "== tests =="
+ctest --test-dir "$build" --output-on-failure
+
+echo
+echo "== bench_all (cold cache) =="
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+"$build/bench/bench_all" --jobs "$jobs" \
+    --cache-dir "$scratch/cache" \
+    --json "$scratch/cold.json" > /dev/null
+
+echo
+echo "== bench_all (warm cache) =="
+"$build/bench/bench_all" --jobs "$jobs" \
+    --cache-dir "$scratch/cache" \
+    --json "$scratch/warm.json" > /dev/null
+
+for run in cold warm; do
+    python3 - "$scratch/$run.json" "$run" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    results = json.load(f)
+t = results["timings_ms"]
+print(f"{sys.argv[2]}: inputs {t['inputs']} ms, "
+      f"simulation {t['simulation']} ms, total {t['total']} ms")
+EOF
+done
+
+echo
+echo "== compare against bench/reference/BENCH_RESULTS.ref.json =="
+python3 "$root/tools/compare_bench.py" \
+    "$root/bench/reference/BENCH_RESULTS.ref.json" \
+    "$scratch/warm.json"
