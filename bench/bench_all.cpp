@@ -57,6 +57,11 @@ usage(std::ostream &os)
           "BENCH_RESULTS.json; '-' disables)\n"
           "      --only NAMES  comma-separated report names to "
           "run\n"
+          "                    (opt-in reports, e.g. idle_histogram, "
+          "run only when named)\n"
+          "      --trace-dir P write one per-idle-period JSONL "
+          "trace per\n"
+          "                    simulation cell into directory P\n"
           "      --list        list report names and exit\n"
           "  -h, --help        this text\n";
 }
@@ -81,6 +86,7 @@ main(int argc, char **argv)
     bool use_cache = true;
     std::string cache_dir;
     std::string json_path = "BENCH_RESULTS.json";
+    std::string trace_dir;
     std::vector<std::string> only;
 
     for (int i = 1; i < argc; ++i) {
@@ -133,6 +139,8 @@ main(int argc, char **argv)
             cache_dir = value("--cache-dir");
         } else if (arg == "--json") {
             json_path = value("--json");
+        } else if (arg == "--trace-dir") {
+            trace_dir = value("--trace-dir");
         } else if (arg == "--only") {
             std::istringstream names(value("--only"));
             std::string name;
@@ -159,6 +167,7 @@ main(int argc, char **argv)
                                ? sim::WorkloadCache::defaultDirectory()
                                : cache_dir;
     }
+    options.traceDir = trace_dir;
 
     sim::ParallelEvaluation eval(bench::standardConfig(), options);
     bench::ReportContext ctx{
@@ -169,7 +178,9 @@ main(int argc, char **argv)
 
     std::vector<const bench::Report *> selected;
     for (const auto &report : bench::allReports()) {
-        bool wanted = only.empty();
+        // Opt-in reports are skipped by the default selection and
+        // must be named explicitly.
+        bool wanted = only.empty() && !report.optIn;
         for (const std::string &name : only)
             wanted = wanted || name == report.name;
         if (wanted)

@@ -13,7 +13,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "core/global.hpp"
 #include "core/pcap.hpp"
@@ -200,6 +202,52 @@ BM_AccessesOfPrecomputed(benchmark::State &state)
     }
 }
 BENCHMARK(BM_AccessesOfPrecomputed)->Arg(1024)->Arg(65536);
+
+/**
+ * The GlobalShutdownPredictor slot store: per-access pid lookup
+ * followed by a full scan combining decisions. Measured for both
+ * map types to back the std::map → std::unordered_map switch in
+ * core/global.hpp (see DESIGN.md for recorded numbers).
+ */
+struct SlotLike
+{
+    TimeUs lastIoTime = -1;
+    TimeUs earliest = 0;
+};
+
+template <typename Map>
+void
+BM_SlotStoreAccess(benchmark::State &state)
+{
+    const Pid slots = static_cast<Pid>(state.range(0));
+    Map map;
+    for (Pid pid = 0; pid < slots; ++pid)
+        map.emplace(pid, SlotLike{pid * 100, pid * 1000});
+
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        // The per-access path: find the responsible slot, update it,
+        // then scan all slots for the latest decision.
+        const Pid pid = static_cast<Pid>(++i % slots);
+        auto it = map.find(pid);
+        it->second.lastIoTime = static_cast<TimeUs>(i);
+        TimeUs best = -1;
+        for (const auto &[key, slot] : map) {
+            (void)key;
+            if (slot.earliest > best)
+                best = slot.earliest;
+        }
+        benchmark::DoNotOptimize(best);
+    }
+}
+BENCHMARK(BM_SlotStoreAccess<std::map<Pid, SlotLike>>)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64);
+BENCHMARK(BM_SlotStoreAccess<std::unordered_map<Pid, SlotLike>>)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64);
 
 void
 BM_TimeoutOnIo(benchmark::State &state)

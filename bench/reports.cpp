@@ -4,12 +4,24 @@
 #include <ostream>
 
 #include "power/disk_params.hpp"
+#include "sim/drivers.hpp"
 #include "util/table.hpp"
 #include "workload/app_model.hpp"
 
 namespace pcap::bench {
 
 namespace {
+
+/** The named policies, resolved through the registry. */
+std::vector<sim::PolicyConfig>
+policiesByName(std::initializer_list<const char *> names)
+{
+    std::vector<sim::PolicyConfig> policies;
+    policies.reserve(names.size());
+    for (const char *name : names)
+        policies.push_back(sim::policyByName(name));
+    return policies;
+}
 
 /** Titled section header, exactly as the historical binaries. */
 void
@@ -164,12 +176,7 @@ constexpr Table3PaperRow kTable3Paper[] = {
 std::vector<sim::PolicyConfig>
 pcapVariantPolicies()
 {
-    return {
-        sim::PolicyConfig::pcapBase(),
-        sim::PolicyConfig::pcapHistory(),
-        sim::PolicyConfig::pcapFd(),
-        sim::PolicyConfig::pcapFdHistory(),
-    };
+    return policiesByName({"PCAP", "PCAPh", "PCAPf", "PCAPfh"});
 }
 
 void
@@ -218,11 +225,7 @@ cellsTable3()
 std::vector<sim::PolicyConfig>
 corePolicies()
 {
-    return {
-        sim::PolicyConfig::timeoutPolicy(),
-        sim::PolicyConfig::learningTree(),
-        sim::PolicyConfig::pcapBase(),
-    };
+    return policiesByName({"TP", "LT", "PCAP"});
 }
 
 /** Figures 6 and 7 share their layout; only the stats source
@@ -433,12 +436,7 @@ reportFig9(ReportContext &ctx, std::ostream &os)
 std::vector<sim::PolicyConfig>
 reusePolicies()
 {
-    return {
-        sim::PolicyConfig::pcapBase(),
-        sim::PolicyConfig::pcapNoReuse(),
-        sim::PolicyConfig::learningTree(),
-        sim::PolicyConfig::learningTreeNoReuse(),
-    };
+    return policiesByName({"PCAP", "PCAPa", "LT", "LTa"});
 }
 
 void
@@ -500,7 +498,7 @@ timeoutSweepPolicies()
     for (double timer : {2.0, 5.43, 10.0, 20.0, 30.0}) {
         policies.push_back(
             sim::PolicyConfig::timeoutPolicy(secondsUs(timer)));
-        sim::PolicyConfig pcap = sim::PolicyConfig::pcapBase();
+        sim::PolicyConfig pcap = sim::policyByName("PCAP");
         pcap.timeout = secondsUs(timer);
         policies.push_back(pcap);
     }
@@ -549,7 +547,7 @@ reportAblationTimeout(ReportContext &ctx, std::ostream &os)
     for (double timer : timers_s) {
         sim::PolicyConfig tp =
             sim::PolicyConfig::timeoutPolicy(secondsUs(timer));
-        sim::PolicyConfig pcap = sim::PolicyConfig::pcapBase();
+        sim::PolicyConfig pcap = sim::policyByName("PCAP");
         pcap.timeout = secondsUs(timer);
 
         table.addRow({fixedString(timer, 2) + " s",
@@ -574,10 +572,10 @@ historySweepPolicies()
 {
     std::vector<sim::PolicyConfig> policies;
     for (int length : {1, 2, 4, 6, 8, 10, 12}) {
-        sim::PolicyConfig pcaph = sim::PolicyConfig::pcapHistory();
+        sim::PolicyConfig pcaph = sim::policyByName("PCAPh");
         pcaph.pcap.historyLength = length;
         policies.push_back(pcaph);
-        sim::PolicyConfig lt = sim::PolicyConfig::learningTree();
+        sim::PolicyConfig lt = sim::policyByName("LT");
         lt.lt.historyLength = length;
         policies.push_back(lt);
     }
@@ -614,9 +612,9 @@ reportAblationHistory(ReportContext &ctx, std::ostream &os)
                      "LT miss"});
 
     for (int length : {1, 2, 4, 6, 8, 10, 12}) {
-        sim::PolicyConfig pcaph = sim::PolicyConfig::pcapHistory();
+        sim::PolicyConfig pcaph = sim::policyByName("PCAPh");
         pcaph.pcap.historyLength = length;
-        sim::PolicyConfig lt = sim::PolicyConfig::learningTree();
+        sim::PolicyConfig lt = sim::policyByName("LT");
         lt.lt.historyLength = length;
 
         double pcap_hit = 0, pcap_miss = 0, lt_hit = 0, lt_miss = 0;
@@ -645,7 +643,7 @@ waitWindowSweepPolicies()
 {
     std::vector<sim::PolicyConfig> policies;
     for (double window_s : {0.05, 0.25, 0.5, 1.0, 2.0, 4.0}) {
-        sim::PolicyConfig pcap = sim::PolicyConfig::pcapBase();
+        sim::PolicyConfig pcap = sim::policyByName("PCAP");
         pcap.pcap.waitWindow = secondsUs(window_s);
         policies.push_back(pcap);
     }
@@ -666,7 +664,7 @@ reportAblationWaitWindow(ReportContext &ctx, std::ostream &os)
                      "saved"});
 
     for (double window_s : {0.05, 0.25, 0.5, 1.0, 2.0, 4.0}) {
-        sim::PolicyConfig pcap = sim::PolicyConfig::pcapBase();
+        sim::PolicyConfig pcap = sim::policyByName("PCAP");
         pcap.pcap.waitWindow = secondsUs(window_s);
 
         std::vector<double> hit, miss, notp, saved;
@@ -730,7 +728,7 @@ reportAblationCache(ReportContext &ctx, std::ostream &os)
                     config.sim.breakeven());
             }
             const auto outcome =
-                eval->globalRun(app, sim::PolicyConfig::pcapBase());
+                eval->globalRun(app, sim::policyByName("PCAP"));
             hit.push_back(outcome.run.accuracy.hitFraction());
             miss.push_back(outcome.run.accuracy.missFraction());
             saved.push_back(1.0 -
@@ -754,7 +752,7 @@ unlearnPolicies()
 {
     std::vector<sim::PolicyConfig> policies;
     for (bool unlearn : {false, true}) {
-        sim::PolicyConfig pcap = sim::PolicyConfig::pcapBase();
+        sim::PolicyConfig pcap = sim::policyByName("PCAP");
         pcap.pcap.unlearnOnMisprediction = unlearn;
         pcap.label = unlearn ? "PCAP-unlearn" : "PCAP";
         policies.push_back(pcap);
@@ -809,14 +807,7 @@ cellsAblationUnlearn()
 std::vector<sim::PolicyConfig>
 relatedPolicies()
 {
-    return {
-        sim::PolicyConfig::timeoutPolicy(),
-        sim::PolicyConfig::adaptiveTimeoutPolicy(),
-        sim::PolicyConfig::expAveragePolicy(),
-        sim::PolicyConfig::busyRatioPolicy(),
-        sim::PolicyConfig::learningTree(),
-        sim::PolicyConfig::pcapBase(),
-    };
+    return policiesByName({"TP", "ATP", "EA", "SB", "LT", "PCAP"});
 }
 
 void
@@ -890,7 +881,7 @@ reportMultiState(ReportContext &ctx, std::ostream &os)
     table.setHeader({"app", "policy", "hit", "miss", "saved",
                      "low-power entries"});
 
-    const sim::PolicyConfig pcap = sim::PolicyConfig::pcapBase();
+    const sim::PolicyConfig pcap = sim::policyByName("PCAP");
 
     std::vector<double> saved_plain, saved_ms;
     for (const std::string &app : ctx.eval.appNames()) {
@@ -934,13 +925,82 @@ std::vector<sim::Cell>
 cellsMultiState()
 {
     std::vector<sim::Cell> cells;
-    const sim::PolicyConfig pcap = sim::PolicyConfig::pcapBase();
+    const sim::PolicyConfig pcap = sim::policyByName("PCAP");
     for (const std::string &app : workload::standardAppNames()) {
         cells.push_back({sim::CellMode::Global, app, pcap});
         cells.push_back({sim::CellMode::MultiState, app, pcap});
         cells.push_back({sim::CellMode::Base, app, {}});
     }
     return cells;
+}
+
+// -- Extension: idle-period length histogram -------------------
+
+/** Bucket label "<= Xs" / "> Xs" with a compact seconds rendering. */
+std::string
+bucketLabel(TimeUs upper, TimeUs previous)
+{
+    auto seconds = [](TimeUs t) {
+        const double s = usToSeconds(t);
+        const bool whole = s >= 1.0 && t % 1000000 == 0;
+        return fixedString(s, whole ? 0 : 2) + " s";
+    };
+    if (upper == kTimeNever)
+        return "> " + seconds(previous);
+    return "<= " + seconds(upper);
+}
+
+void
+reportIdleHistogram(ReportContext &ctx, std::ostream &os)
+{
+    header(os,
+           "Extension: idle-period length histogram (global PCAP)",
+           "Every merged-stream idle period the replay kernel "
+           "classified, bucketed by length; the breakeven boundary "
+           "(5.43 s) separates short periods from shutdown "
+           "opportunities. Opt-in report: run via --only "
+           "idle_histogram.");
+
+    const sim::SimParams &sim_params = ctx.eval.config().sim;
+    sim::IdleHistogramObserver observer(
+        sim::IdleHistogramObserver::defaultBoundaries(
+            sim_params.breakeven()));
+    sim::SimulationKernel kernel(sim_params, observer);
+    const sim::PolicyConfig pcap = sim::policyByName("PCAP");
+    for (const std::string &app : ctx.eval.appNames()) {
+        sim::PolicySession session(pcap);
+        sim::GlobalDriver driver(session);
+        kernel.run(ctx.eval.inputs(app), driver);
+    }
+
+    TextTable table;
+    table.setHeader({"length", "short", "not-pred", "hit(P)",
+                     "hit(B)", "miss(P)", "miss(B)", "total"});
+
+    auto outcomeCount = [](const sim::IdleHistogramObserver::Bucket
+                               &bucket,
+                           sim::IdleOutcome outcome) {
+        return std::to_string(
+            bucket.byOutcome[static_cast<std::size_t>(outcome)]);
+    };
+
+    TimeUs previous = 0;
+    for (const auto &bucket : observer.buckets()) {
+        table.addRow(
+            {bucketLabel(bucket.upper, previous),
+             outcomeCount(bucket, sim::IdleOutcome::Short),
+             outcomeCount(bucket, sim::IdleOutcome::NotPredicted),
+             outcomeCount(bucket, sim::IdleOutcome::HitPrimary),
+             outcomeCount(bucket, sim::IdleOutcome::HitBackup),
+             outcomeCount(bucket, sim::IdleOutcome::MissPrimary),
+             outcomeCount(bucket, sim::IdleOutcome::MissBackup),
+             std::to_string(bucket.total())});
+        previous = bucket.upper;
+    }
+    table.print(os);
+
+    os << "\ntotal idle periods: " << observer.totalPeriods()
+       << " (all applications, all executions)\n";
 }
 
 } // namespace
@@ -981,6 +1041,10 @@ allReports()
         {"related", "bench_related", reportRelated, cellsRelated},
         {"extension_multistate", "bench_extension_multistate",
          reportMultiState, cellsMultiState},
+        // Opt-in: new instrumentation report, outside the
+        // byte-compared reference suite.
+        {"idle_histogram", "", reportIdleHistogram, cellsNone,
+         /*optIn=*/true},
     };
     return kReports;
 }

@@ -74,6 +74,10 @@ struct Report
     /** Standard-config cells the report queries, for prefetching.
      * Empty for reports that use other configs or none. */
     std::vector<sim::Cell> (*cells)();
+
+    /** Opt-in reports run only when named via --only; they are not
+     * part of the byte-compared reference suite. */
+    bool optIn = false;
 };
 
 /** All reports, in the canonical EXPERIMENTS.md order. */

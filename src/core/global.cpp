@@ -67,16 +67,21 @@ GlobalShutdownPredictor::globalDecision() const
     pred::ShutdownDecision best;
     bool first = true;
     TimeUs best_last_io = -1;
+    Pid best_pid = -1;
     for (const auto &[pid, slot] : slots_) {
         if (slot.decision.earliest == kTimeNever)
             return slot.decision; // someone never consents
         // The latest earliest-time wins; ties go to the process that
-        // decided most recently ("last decision" attribution).
+        // decided most recently ("last decision" attribution), then
+        // to the lowest pid so the combine is independent of the hash
+        // map's iteration order.
         if (first || slot.decision.earliest > best.earliest ||
             (slot.decision.earliest == best.earliest &&
-             slot.lastIoTime > best_last_io)) {
+             (slot.lastIoTime > best_last_io ||
+              (slot.lastIoTime == best_last_io && pid < best_pid)))) {
             best = slot.decision;
             best_last_io = slot.lastIoTime;
+            best_pid = pid;
             first = false;
         }
     }

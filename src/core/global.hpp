@@ -9,8 +9,8 @@
 #define PCAP_CORE_GLOBAL_HPP
 
 #include <functional>
-#include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "pred/predictor.hpp"
 #include "trace/event.hpp"
@@ -78,7 +78,11 @@ class GlobalShutdownPredictor
     };
 
     Factory factory_;
-    std::map<Pid, Slot> slots_;
+    // Hash map rather than ordered: the hot path is the per-access
+    // find() plus a full scan in globalDecision(), neither of which
+    // needs ordering (the decision combine tie-breaks on pid
+    // explicitly). See bench_overhead for the measured difference.
+    std::unordered_map<Pid, Slot> slots_;
 };
 
 } // namespace pcap::core

@@ -16,12 +16,24 @@ diskStateName(DiskState state)
     return "unknown";
 }
 
-PowerManagedDisk::PowerManagedDisk(const DiskParams &params)
-    : params_(params)
+PowerManagedDisk::PowerManagedDisk(const DiskParams &params,
+                                   DiskObserver *observer)
+    : params_(params), observer_(observer)
 {
     const std::string problem = params_.validate();
     if (!problem.empty())
         fatal("PowerManagedDisk: bad parameters: " + problem);
+}
+
+void
+PowerManagedDisk::setState(TimeUs time, DiskState next)
+{
+    if (state_ == next)
+        return;
+    const DiskState previous = state_;
+    state_ = next;
+    if (observer_)
+        observer_->onDiskStateChange(time, previous, next);
 }
 
 void
@@ -36,7 +48,7 @@ PowerManagedDisk::accrueTo(TimeUs t)
             now_ = boundary;
             if (now_ == busyUntil_) {
                 // Service complete: a new idle gap opens here.
-                state_ = DiskState::Idle;
+                setState(busyUntil_, DiskState::Idle);
                 gapStart_ = busyUntil_;
                 pendingGapJ_ = 0.0;
             }
@@ -102,6 +114,9 @@ PowerManagedDisk::request(TimeUs time, std::uint32_t blocks)
         service_start = time + params_.lowPowerExitTime;
         totalSpinUpDelay_ += params_.lowPowerExitTime;
         now_ = service_start;
+        if (observer_)
+            observer_->onSpinUpServed(time,
+                                      params_.lowPowerExitTime);
         break;
       case DiskState::Standby: {
         closeGap(time);
@@ -114,11 +129,13 @@ PowerManagedDisk::request(TimeUs time, std::uint32_t blocks)
         service_start = wake_start + params_.spinUpTime;
         totalSpinUpDelay_ += service_start - time;
         now_ = service_start;
+        if (observer_)
+            observer_->onSpinUpServed(time, service_start - time);
         break;
       }
     }
 
-    state_ = DiskState::Active;
+    setState(time, DiskState::Active);
     busyUntil_ = service_start +
                  static_cast<TimeUs>(blocks) *
                      params_.serviceTimePerBlock;
@@ -140,7 +157,7 @@ PowerManagedDisk::shutdown(TimeUs time)
 
     ledger_.add(EnergyCategory::PowerCycle, params_.shutdownEnergyJ);
     ++shutdownCount_;
-    state_ = DiskState::Standby;
+    setState(time, DiskState::Standby);
     // The lump sum covers the transition interval; per-time standby
     // accrual resumes after it.
     now_ = time + params_.shutdownTime;
@@ -161,7 +178,7 @@ PowerManagedDisk::enterLowPower(TimeUs time)
 
     // Unloading the heads is effectively free; the cost is paid on
     // exit.
-    state_ = DiskState::LowPower;
+    setState(time, DiskState::LowPower);
     ++lowPowerCount_;
     return true;
 }

@@ -33,6 +33,42 @@ enum class DiskState {
 const char *diskStateName(DiskState state);
 
 /**
+ * Passive hook for disk-level events. The power layer knows nothing
+ * about the simulator; sim::SimObserver extends this interface with
+ * replay-level callbacks. Default implementations do nothing, so
+ * observers override only what they need.
+ *
+ * Timestamps are the stimulus times: a request that wakes a spun-down
+ * disk reports the transition at the request's arrival even though
+ * service starts only after the spin-up completes.
+ */
+class DiskObserver
+{
+  public:
+    virtual ~DiskObserver() = default;
+
+    /** The disk moved from @p from to @p to at @p time. */
+    virtual void
+    onDiskStateChange(TimeUs time, DiskState from, DiskState to)
+    {
+        (void)time;
+        (void)from;
+        (void)to;
+    }
+
+    /**
+     * A request at @p time found the disk spun down (or heads
+     * unloaded) and paid @p delay of extra latency waking it.
+     */
+    virtual void
+    onSpinUpServed(TimeUs time, TimeUs delay)
+    {
+        (void)time;
+        (void)delay;
+    }
+};
+
+/**
  * Power-managed disk.
  *
  * Time semantics: transition energies (spin-down 0.36 J, spin-up
@@ -50,7 +86,12 @@ const char *diskStateName(DiskState state);
 class PowerManagedDisk
 {
   public:
-    explicit PowerManagedDisk(const DiskParams &params);
+    /**
+     * @p observer, when non-null, is notified of state transitions
+     * and spin-up services; it must outlive the disk.
+     */
+    explicit PowerManagedDisk(const DiskParams &params,
+                              DiskObserver *observer = nullptr);
 
     /**
      * A request for @p blocks cache blocks arrives at @p time.
@@ -129,7 +170,11 @@ class PowerManagedDisk
     /** Classify and flush the pending gap energy; gap ended at @p t. */
     void closeGap(TimeUs t);
 
+    /** Move to @p next, notifying the observer on a real change. */
+    void setState(TimeUs time, DiskState next);
+
     DiskParams params_;
+    DiskObserver *observer_ = nullptr;
     DiskState state_ = DiskState::Idle;
     EnergyLedger ledger_;
 

@@ -1,8 +1,11 @@
 #include "sim/experiment.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <iomanip>
 #include <sstream>
 
+#include "sim/drivers.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/app_model.hpp"
@@ -138,7 +141,9 @@ Evaluation::localAccuracy(const std::string &app,
                           const PolicyConfig &policy)
 {
     PolicySession session(policy);
-    return runLocal(inputs(app), session, config_.sim);
+    LocalDriver driver(session);
+    SimulationKernel kernel(config_.sim);
+    return kernel.run(inputs(app), driver).accuracy;
 }
 
 sim::GlobalOutcome
@@ -146,8 +151,10 @@ Evaluation::globalRun(const std::string &app,
                       const PolicyConfig &policy)
 {
     PolicySession session(policy);
+    GlobalDriver driver(session);
+    SimulationKernel kernel(config_.sim);
     sim::GlobalOutcome outcome;
-    outcome.run = runGlobal(inputs(app), session, config_.sim);
+    outcome.run = kernel.run(inputs(app), driver);
     outcome.tableEntries = session.tableEntries();
     return outcome;
 }
@@ -157,9 +164,10 @@ Evaluation::multiStateRun(const std::string &app,
                           const PolicyConfig &policy)
 {
     PolicySession session(policy);
+    GlobalDriver driver(session, {.multiState = true});
+    SimulationKernel kernel(config_.sim);
     sim::GlobalOutcome outcome;
-    outcome.run =
-        runGlobalMultiState(inputs(app), session, config_.sim);
+    outcome.run = kernel.run(inputs(app), driver);
     outcome.tableEntries = session.tableEntries();
     return outcome;
 }
@@ -169,8 +177,10 @@ Evaluation::baseRun(const std::string &app)
 {
     auto it = baseRuns_.find(app);
     if (it == baseRuns_.end()) {
+        BaseDriver driver;
+        SimulationKernel kernel(config_.sim);
         it = baseRuns_
-                 .emplace(app, runBase(inputs(app), config_.sim))
+                 .emplace(app, kernel.run(inputs(app), driver))
                  .first;
     }
     return it->second;
@@ -181,8 +191,10 @@ Evaluation::idealRun(const std::string &app)
 {
     auto it = idealRuns_.find(app);
     if (it == idealRuns_.end()) {
+        OracleDriver driver;
+        SimulationKernel kernel(config_.sim);
         it = idealRuns_
-                 .emplace(app, runIdeal(inputs(app), config_.sim))
+                 .emplace(app, kernel.run(inputs(app), driver))
                  .first;
     }
     return it->second;
@@ -200,6 +212,26 @@ ParallelEvaluation::ParallelEvaluation(ExperimentConfig config,
 {
     if (options_.jobs == 0)
         options_.jobs = ThreadPool::hardwareJobs();
+    if (!options_.traceDir.empty())
+        std::filesystem::create_directories(options_.traceDir);
+}
+
+std::unique_ptr<SimObserver>
+ParallelEvaluation::traceObserver(const char *mode,
+                                  const std::string &app,
+                                  const PolicyConfig *policy) const
+{
+    if (options_.traceDir.empty())
+        return nullptr;
+    std::string name = std::string(mode) + "-" + app;
+    if (policy) {
+        std::ostringstream hash;
+        hash << std::hex << std::setw(16) << std::setfill('0')
+             << hashString(policyCacheKey(*policy));
+        name += "-" + policy->label + "-" + hash.str();
+    }
+    return std::make_unique<JsonlTraceObserver>(
+        options_.traceDir + "/" + name + ".jsonl");
 }
 
 template <typename T>
@@ -254,8 +286,12 @@ ParallelEvaluation::localAccuracy(const std::string &app,
     auto memo =
         slot(locals_, app + "\x1f" + policyCacheKey(policy));
     std::call_once(memo->once, [&] {
+        auto observer = traceObserver("local", app, &policy);
         PolicySession session(policy);
-        memo->value = runLocal(inputs(app), session, config_.sim);
+        LocalDriver driver(session);
+        SimulationKernel kernel(
+            config_.sim, observer ? *observer : nullObserver());
+        memo->value = kernel.run(inputs(app), driver).accuracy;
     });
     return memo->value;
 }
@@ -267,8 +303,12 @@ ParallelEvaluation::globalRun(const std::string &app,
     auto memo =
         slot(globals_, "g\x1f" + app + "\x1f" + policyCacheKey(policy));
     std::call_once(memo->once, [&] {
+        auto observer = traceObserver("global", app, &policy);
         PolicySession session(policy);
-        memo->value.run = runGlobal(inputs(app), session, config_.sim);
+        GlobalDriver driver(session);
+        SimulationKernel kernel(
+            config_.sim, observer ? *observer : nullObserver());
+        memo->value.run = kernel.run(inputs(app), driver);
         memo->value.tableEntries = session.tableEntries();
     });
     return memo->value;
@@ -281,9 +321,12 @@ ParallelEvaluation::multiStateRun(const std::string &app,
     auto memo =
         slot(globals_, "m\x1f" + app + "\x1f" + policyCacheKey(policy));
     std::call_once(memo->once, [&] {
+        auto observer = traceObserver("multistate", app, &policy);
         PolicySession session(policy);
-        memo->value.run =
-            runGlobalMultiState(inputs(app), session, config_.sim);
+        GlobalDriver driver(session, {.multiState = true});
+        SimulationKernel kernel(
+            config_.sim, observer ? *observer : nullObserver());
+        memo->value.run = kernel.run(inputs(app), driver);
         memo->value.tableEntries = session.tableEntries();
     });
     return memo->value;
@@ -294,7 +337,11 @@ ParallelEvaluation::baseRun(const std::string &app)
 {
     auto memo = slot(runs_, "base\x1f" + app);
     std::call_once(memo->once, [&] {
-        memo->value = runBase(inputs(app), config_.sim);
+        auto observer = traceObserver("base", app, nullptr);
+        BaseDriver driver;
+        SimulationKernel kernel(
+            config_.sim, observer ? *observer : nullObserver());
+        memo->value = kernel.run(inputs(app), driver);
     });
     return memo->value;
 }
@@ -304,7 +351,11 @@ ParallelEvaluation::idealRun(const std::string &app)
 {
     auto memo = slot(runs_, "ideal\x1f" + app);
     std::call_once(memo->once, [&] {
-        memo->value = runIdeal(inputs(app), config_.sim);
+        auto observer = traceObserver("ideal", app, nullptr);
+        OracleDriver driver;
+        SimulationKernel kernel(
+            config_.sim, observer ? *observer : nullObserver());
+        memo->value = kernel.run(inputs(app), driver);
     });
     return memo->value;
 }

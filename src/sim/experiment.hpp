@@ -197,6 +197,13 @@ struct ParallelOptions
      * (inputs are still memoized in memory).
      */
     std::string cacheDir;
+
+    /**
+     * When non-empty, every simulation cell writes a per-idle-period
+     * JSONL trace into this directory (created if needed), one file
+     * per (mode, app, policy) cell. Empty disables tracing.
+     */
+    std::string traceDir;
 };
 
 /**
@@ -274,6 +281,15 @@ class ParallelEvaluation : public EvaluationApi
          const std::string &key);
 
     void computeCell(const Cell &cell);
+
+    /**
+     * The JSONL observer of one cell, or null when tracing is off.
+     * Files are named <mode>-<app>[-<label>-<policy hash>].jsonl;
+     * the hash disambiguates sweep variants sharing a label.
+     */
+    std::unique_ptr<SimObserver>
+    traceObserver(const char *mode, const std::string &app,
+                  const PolicyConfig *policy) const;
 
     ExperimentConfig config_;
     ParallelOptions options_;

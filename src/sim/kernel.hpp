@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The replay kernel: one event loop for every evaluation mode.
+ *
+ * Historically the simulator grew five hand-rolled replay loops
+ * (local, global, multi-state global, base, ideal), each duplicating
+ * event replay, idle-gap classification and disk accounting. The
+ * kernel collapses them: it walks an ExecutionInput's merged
+ * SimEvent schedule exactly once and delegates every policy decision
+ * to a PolicyDriver strategy — so classifyGap (now IdleSink),
+ * shutdown issuance and RunResult assembly exist in one place, and a
+ * new evaluation mode is a new driver, not a sixth loop.
+ *
+ * A SimObserver (observer.hpp) can be attached for per-idle-period
+ * instrumentation; the default NullObserver costs one virtual call
+ * per classified period and nothing else.
+ */
+
+#ifndef PCAP_SIM_KERNEL_HPP
+#define PCAP_SIM_KERNEL_HPP
+
+#include <vector>
+
+#include "power/disk.hpp"
+#include "pred/predictor.hpp"
+#include "sim/input.hpp"
+#include "sim/observer.hpp"
+#include "sim/stats.hpp"
+
+namespace pcap::sim {
+
+/** Parameters shared by every simulation run. */
+struct SimParams
+{
+    power::DiskParams disk;
+
+    /** The breakeven time used for idle-period classification. */
+    TimeUs breakeven() const { return disk.breakevenTime; }
+};
+
+/** Outcome of one policy over a set of executions. */
+struct RunResult
+{
+    AccuracyStats accuracy;
+    power::EnergyLedger energy;
+    std::uint64_t shutdowns = 0;   ///< spin-downs actually performed
+    std::uint64_t spinUps = 0;     ///< on-demand spin-ups
+    std::uint64_t ignoredShutdowns = 0; ///< orders the disk refused
+    TimeUs totalSpinUpDelay = 0;   ///< latency added by spin-ups
+
+    /** Fold another run (e.g. another execution) into this one. */
+    void merge(const RunResult &other);
+};
+
+/** Pid tag of the merged (whole-system) stream in idle-period
+ * records; real processes use their own pid. */
+constexpr Pid kMergedStreamPid = -1;
+
+/**
+ * The one place an idle period is classified and tallied
+ * (previously the classifyGap free function, duplicated
+ * per-stream). Tallies into AccuracyStats and emits one
+ * IdlePeriodRecord per period to the observer — including Short
+ * periods, which AccuracyStats ignores.
+ */
+class IdleSink
+{
+  public:
+    IdleSink(TimeUs breakeven, AccuracyStats &stats,
+             SimObserver &observer)
+        : breakeven_(breakeven), stats_(stats), observer_(observer)
+    {
+    }
+
+    /**
+     * Classify the idle period [gap_start, gap_end) of stream @p pid
+     * given the shutdown (if any) that happened inside it.
+     *
+     * @param shutdown_at Time the disk was spun down, or -1 for none.
+     * @param source      Attribution of the standing decision behind
+     *                    the shutdown; a consent without a mechanism
+     *                    behind it (DecisionSource::None with a
+     *                    shutdown) counts as backup.
+     */
+    void classify(Pid pid, TimeUs gap_start, TimeUs gap_end,
+                  TimeUs shutdown_at, pred::DecisionSource source);
+
+    TimeUs breakeven() const { return breakeven_; }
+
+  private:
+    TimeUs breakeven_;
+    AccuracyStats &stats_;
+    SimObserver &observer_;
+};
+
+/**
+ * Which access order a driver replays.
+ *
+ * The merged schedule orders same-time events (start < access <
+ * exit, then by pid); the trace order is the access array exactly as
+ * the file cache emitted it. The two differ only in the relative
+ * order of equal-timestamp accesses — but that order is observable:
+ * processes sharing a prediction table train it in feed order, and
+ * the historical per-mode loops disagreed on it. Schedule preserves
+ * the global modes' behaviour, Trace the local/base/ideal modes'.
+ */
+enum class ReplayOrder {
+    Schedule, ///< accesses in merged-schedule order
+    Trace,    ///< accesses in trace (array) order
+};
+
+/**
+ * Strategy interface the kernel delegates policy decisions to. One
+ * driver instance replays any number of executions; beginExecution
+ * resets per-execution state. Everything except beginExecution and
+ * onAccess has a no-op (or never-consent) default, so minimal
+ * drivers stay minimal.
+ */
+class PolicyDriver
+{
+  public:
+    virtual ~PolicyDriver() = default;
+
+    /** Whether the kernel should drive the disk model and classify
+     * merged-stream gaps (false: the driver classifies its own
+     * streams through the sink, e.g. per-process local replay). */
+    virtual bool usesDisk() const = 0;
+
+    /** Which access order this driver expects (see ReplayOrder). */
+    virtual ReplayOrder replayOrder() const = 0;
+
+    /** A new execution starts; reset per-execution state. */
+    virtual void beginExecution(const ExecutionInput &input) = 0;
+
+    /** A process joins (initial process or fork). */
+    virtual void processStart(Pid pid, TimeUs time);
+
+    /** A process exits; its constraint disappears. */
+    virtual void processExit(Pid pid, TimeUs time, IdleSink &sink);
+
+    /**
+     * The standing shutdown decision the kernel checks before every
+     * event (disk drivers only). Defaults to never-consent.
+     */
+    virtual pred::ShutdownDecision standingDecision() const;
+
+    /**
+     * One disk access was replayed. For disk drivers, @p completion
+     * is the service completion time the disk reported; diskless
+     * drivers receive 0. Called after the kernel classified the
+     * preceding merged-stream gap and issued any pending shutdown.
+     */
+    virtual void onAccess(const trace::DiskAccess &access,
+                          TimeUs completion, IdleSink &sink) = 0;
+
+    /** Whether the access just replayed parked the disk in the
+     * low-power mode (the multi-state extension). */
+    virtual bool parkLowPower() const;
+
+    /** The execution's events are exhausted (before results are
+     * assembled); classify trailing per-stream gaps here. */
+    virtual void endExecution(const ExecutionInput &input,
+                              IdleSink &sink);
+};
+
+/**
+ * Replays executions against a driver, owning the disk model, the
+ * merged-stream gap state machine and shutdown issuance. Results
+ * are bit-identical to the historical per-mode loops.
+ */
+class SimulationKernel
+{
+  public:
+    explicit SimulationKernel(const SimParams &params,
+                              SimObserver &observer = nullObserver())
+        : params_(params), observer_(observer)
+    {
+    }
+
+    /** Replay one execution. */
+    RunResult runExecution(const ExecutionInput &input,
+                           PolicyDriver &driver);
+
+    /** Replay every execution in order and merge the results. */
+    RunResult run(const std::vector<ExecutionInput> &executions,
+                  PolicyDriver &driver);
+
+    const SimParams &params() const { return params_; }
+
+  private:
+    SimParams params_;
+    SimObserver &observer_;
+};
+
+} // namespace pcap::sim
+
+#endif // PCAP_SIM_KERNEL_HPP

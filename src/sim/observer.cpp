@@ -1,0 +1,118 @@
+#include "sim/observer.hpp"
+
+#include <algorithm>
+
+#include "sim/input.hpp"
+#include "util/logging.hpp"
+
+namespace pcap::sim {
+
+const char *
+idleOutcomeName(IdleOutcome outcome)
+{
+    switch (outcome) {
+      case IdleOutcome::Short: return "short";
+      case IdleOutcome::NotPredicted: return "not_predicted";
+      case IdleOutcome::HitPrimary: return "hit_primary";
+      case IdleOutcome::HitBackup: return "hit_backup";
+      case IdleOutcome::MissPrimary: return "miss_primary";
+      case IdleOutcome::MissBackup: return "miss_backup";
+    }
+    return "unknown";
+}
+
+SimObserver &
+nullObserver()
+{
+    static NullObserver observer;
+    return observer;
+}
+
+// ---------------------------------------------------------------
+// JsonlTraceObserver
+// ---------------------------------------------------------------
+
+JsonlTraceObserver::JsonlTraceObserver(const std::string &path)
+    : os_(path)
+{
+    if (!os_)
+        fatal("JsonlTraceObserver: cannot write " + path);
+}
+
+void
+JsonlTraceObserver::onExecutionBegin(const ExecutionInput &input)
+{
+    app_ = input.app;
+    execution_ = input.execution;
+}
+
+void
+JsonlTraceObserver::onIdlePeriod(const IdlePeriodRecord &record)
+{
+    // App names are plain identifiers, so no string escaping is
+    // needed for a valid JSON line.
+    os_ << "{\"app\":\"" << app_
+        << "\",\"execution\":" << execution_
+        << ",\"pid\":" << record.pid
+        << ",\"start_us\":" << record.start
+        << ",\"end_us\":" << record.end
+        << ",\"length_us\":" << record.length()
+        << ",\"shutdown_us\":" << record.shutdownAt
+        << ",\"source\":\"" << pred::decisionSourceName(record.source)
+        << "\",\"outcome\":\"" << idleOutcomeName(record.outcome)
+        << "\"}\n";
+    ++records_;
+}
+
+// ---------------------------------------------------------------
+// IdleHistogramObserver
+// ---------------------------------------------------------------
+
+std::uint64_t
+IdleHistogramObserver::Bucket::total() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t count : byOutcome)
+        sum += count;
+    return sum;
+}
+
+IdleHistogramObserver::IdleHistogramObserver(
+    std::vector<TimeUs> boundaries)
+{
+    TimeUs previous = -1;
+    for (TimeUs upper : boundaries) {
+        if (upper <= previous) {
+            fatal("IdleHistogramObserver: boundaries must be "
+                  "strictly ascending");
+        }
+        previous = upper;
+        Bucket bucket;
+        bucket.upper = upper;
+        buckets_.push_back(bucket);
+    }
+    buckets_.push_back(Bucket{}); // open top bucket
+}
+
+std::vector<TimeUs>
+IdleHistogramObserver::defaultBoundaries(TimeUs breakeven)
+{
+    return {millisUs(10.0),  millisUs(100.0), secondsUs(1.0),
+            breakeven,       secondsUs(10.0), secondsUs(30.0),
+            secondsUs(60.0), secondsUs(300.0)};
+}
+
+void
+IdleHistogramObserver::onIdlePeriod(const IdlePeriodRecord &record)
+{
+    const TimeUs length = record.length();
+    std::size_t index = 0;
+    while (index + 1 < buckets_.size() &&
+           length > buckets_[index].upper)
+        ++index;
+    ++buckets_[index]
+          .byOutcome[static_cast<std::size_t>(record.outcome)];
+    ++periods_;
+}
+
+} // namespace pcap::sim

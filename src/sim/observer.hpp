@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Simulation observer layer: passive instrumentation hooks threaded
+ * through the replay kernel and the power-managed disk.
+ *
+ * SimObserver extends power::DiskObserver (state transitions,
+ * spin-up services) with replay-level callbacks: execution
+ * boundaries, classified idle periods, and shutdown orders
+ * issued/ignored. Observers never influence the simulation — the
+ * kernel produces bit-identical results whether a NullObserver, a
+ * JSONL tracer or a histogram collector is attached.
+ */
+
+#ifndef PCAP_SIM_OBSERVER_HPP
+#define PCAP_SIM_OBSERVER_HPP
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "power/disk.hpp"
+#include "pred/predictor.hpp"
+#include "util/types.hpp"
+
+namespace pcap::sim {
+
+struct ExecutionInput;
+struct RunResult;
+
+/**
+ * How one idle period was classified — the taxonomy behind the
+ * paper's accuracy figures, plus Short for sub-breakeven periods in
+ * which no shutdown fired (they carry no prediction outcome and are
+ * excluded from AccuracyStats, but per-period instrumentation wants
+ * to see them).
+ */
+enum class IdleOutcome : std::uint8_t {
+    Short,        ///< gap <= breakeven, no shutdown fired
+    NotPredicted, ///< opportunity missed without a shutdown
+    HitPrimary,   ///< paying shutdown, primary prediction
+    HitBackup,    ///< paying shutdown, backup timeout
+    MissPrimary,  ///< losing shutdown, primary prediction
+    MissBackup,   ///< losing shutdown, backup timeout
+};
+
+/** Stable lower-case name ("hit_primary", ...). */
+const char *idleOutcomeName(IdleOutcome outcome);
+
+/** One classified idle period, as the kernel tallied it. */
+struct IdlePeriodRecord
+{
+    /** Owning stream: a process pid for the local (per-process)
+     * replay, kMergedStreamPid for the merged global stream. */
+    Pid pid = 0;
+    TimeUs start = 0;      ///< last access (gap opens)
+    TimeUs end = 0;        ///< next access or stream end
+    TimeUs shutdownAt = -1; ///< spin-down time inside the gap, or -1
+    /** Attribution of the shutdown (None when no shutdown fired). */
+    pred::DecisionSource source = pred::DecisionSource::None;
+    IdleOutcome outcome = IdleOutcome::Short;
+
+    TimeUs length() const { return end - start; }
+};
+
+/**
+ * Hook interface of the replay kernel. All callbacks default to
+ * no-ops; implementations override what they need. Callbacks fire
+ * on the simulating thread, in replay order.
+ */
+class SimObserver : public power::DiskObserver
+{
+  public:
+    /** Replay of one execution begins. */
+    virtual void onExecutionBegin(const ExecutionInput &input)
+    {
+        (void)input;
+    }
+
+    /** Replay of one execution finished with @p result. */
+    virtual void onExecutionEnd(const ExecutionInput &input,
+                                const RunResult &result)
+    {
+        (void)input;
+        (void)result;
+    }
+
+    /** An idle period was classified and tallied. */
+    virtual void onIdlePeriod(const IdlePeriodRecord &record)
+    {
+        (void)record;
+    }
+
+    /** The power manager's spin-down order was accepted at @p at. */
+    virtual void onShutdownIssued(TimeUs at) { (void)at; }
+
+    /** A spin-down order could not be served (disk busy past the
+     * gap, or already down). */
+    virtual void onShutdownIgnored(TimeUs at) { (void)at; }
+};
+
+/** The do-nothing observer every uninstrumented run shares. */
+class NullObserver final : public SimObserver
+{
+};
+
+/** Shared NullObserver instance (default kernel observer). */
+SimObserver &nullObserver();
+
+/**
+ * Streams one JSON object per classified idle period to a file —
+ * the bench_all --trace-dir format. One record per line:
+ *
+ * {"app":"mozilla","execution":3,"pid":-1,"start_us":..,"end_us":..,
+ *  "length_us":..,"shutdown_us":-1,"source":"none","outcome":"short"}
+ */
+class JsonlTraceObserver final : public SimObserver
+{
+  public:
+    /** Opens @p path for writing; fatal() when that fails. */
+    explicit JsonlTraceObserver(const std::string &path);
+
+    void onExecutionBegin(const ExecutionInput &input) override;
+    void onIdlePeriod(const IdlePeriodRecord &record) override;
+
+    /** Idle-period records written so far. */
+    std::uint64_t recordCount() const { return records_; }
+
+  private:
+    std::ofstream os_;
+    std::string app_;
+    int execution_ = -1;
+    std::uint64_t records_ = 0;
+};
+
+/**
+ * Accumulates the idle-length distribution, bucketed by period
+ * length and broken down by outcome — the idle_histogram report.
+ */
+class IdleHistogramObserver final : public SimObserver
+{
+  public:
+    static constexpr std::size_t kOutcomes = 6;
+
+    struct Bucket
+    {
+        /** Inclusive upper bound of the bucket (µs); kTimeNever for
+         * the final open bucket. */
+        TimeUs upper = kTimeNever;
+        std::array<std::uint64_t, kOutcomes> byOutcome{};
+
+        std::uint64_t total() const;
+    };
+
+    /**
+     * @p boundaries: strictly ascending inclusive upper bounds; an
+     * open top bucket is appended automatically.
+     */
+    explicit IdleHistogramObserver(std::vector<TimeUs> boundaries);
+
+    /** The standard boundaries used by the idle_histogram report:
+     * sub-second decades, the breakeven time, and coarse tail. */
+    static std::vector<TimeUs> defaultBoundaries(TimeUs breakeven);
+
+    void onIdlePeriod(const IdlePeriodRecord &record) override;
+
+    const std::vector<Bucket> &buckets() const { return buckets_; }
+
+    /** Total periods observed across all buckets. */
+    std::uint64_t totalPeriods() const { return periods_; }
+
+  private:
+    std::vector<Bucket> buckets_;
+    std::uint64_t periods_ = 0;
+};
+
+} // namespace pcap::sim
+
+#endif // PCAP_SIM_OBSERVER_HPP

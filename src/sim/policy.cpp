@@ -105,6 +105,70 @@ PolicyConfig::adaptiveTimeoutPolicy()
     return config;
 }
 
+// -- Policy registry -------------------------------------------
+
+namespace {
+
+struct RegistryEntry
+{
+    const char *name;
+    PolicyConfig (*make)();
+};
+
+// Factories with default arguments need a forwarding lambda to decay
+// to a plain function pointer.
+const RegistryEntry kRegistry[] = {
+    {"TP", +[] { return PolicyConfig::timeoutPolicy(); }},
+    {"LT", +[] { return PolicyConfig::learningTree(); }},
+    {"LTa", +[] { return PolicyConfig::learningTreeNoReuse(); }},
+    {"PCAP", +[] { return PolicyConfig::pcapBase(); }},
+    {"PCAPh", +[] { return PolicyConfig::pcapHistory(); }},
+    {"PCAPf", +[] { return PolicyConfig::pcapFd(); }},
+    {"PCAPfh", +[] { return PolicyConfig::pcapFdHistory(); }},
+    {"PCAPa", +[] { return PolicyConfig::pcapNoReuse(); }},
+    {"EA", +[] { return PolicyConfig::expAveragePolicy(); }},
+    {"SB", +[] { return PolicyConfig::busyRatioPolicy(); }},
+    {"ATP", +[] { return PolicyConfig::adaptiveTimeoutPolicy(); }},
+};
+
+} // namespace
+
+const std::vector<std::string> &
+policyNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> list;
+        for (const RegistryEntry &entry : kRegistry)
+            list.emplace_back(entry.name);
+        return list;
+    }();
+    return names;
+}
+
+std::optional<PolicyConfig>
+findPolicy(const std::string &name)
+{
+    for (const RegistryEntry &entry : kRegistry) {
+        if (name == entry.name)
+            return entry.make();
+    }
+    return std::nullopt;
+}
+
+PolicyConfig
+policyByName(const std::string &name)
+{
+    std::optional<PolicyConfig> config = findPolicy(name);
+    if (!config) {
+        std::string known;
+        for (const std::string &label : policyNames())
+            known += (known.empty() ? "" : " ") + label;
+        fatal("unknown policy \"" + name + "\" (known: " + known +
+              ")");
+    }
+    return *config;
+}
+
 PolicySession::PolicySession(const PolicyConfig &config)
     : config_(config)
 {

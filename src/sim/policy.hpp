@@ -14,7 +14,9 @@
 #define PCAP_SIM_POLICY_HPP
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/pcap.hpp"
 #include "core/prediction_table.hpp"
@@ -92,6 +94,23 @@ struct PolicyConfig
     /** ATP: feedback-adapted timeout. */
     static PolicyConfig adaptiveTimeoutPolicy();
 };
+
+// -- Policy registry -------------------------------------------
+
+/**
+ * Labels of every registered policy, in registry (paper) order:
+ * TP, LT, LTa, PCAP, PCAPh, PCAPf, PCAPfh, PCAPa, EA, SB, ATP.
+ * Benchmarks and the CLI select policies by these names instead of
+ * hardcoding factory lists.
+ */
+const std::vector<std::string> &policyNames();
+
+/** Look up a policy by label; std::nullopt when unknown. */
+std::optional<PolicyConfig> findPolicy(const std::string &name);
+
+/** Look up a policy by label; exits with a diagnostic listing the
+ * known labels when @p name is not registered. */
+PolicyConfig policyByName(const std::string &name);
 
 /**
  * Learned state of one (application, policy) pair plus the local

@@ -1,342 +1,52 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-#include <map>
-
-#include "core/global.hpp"
-#include "util/logging.hpp"
+#include "sim/drivers.hpp"
 
 namespace pcap::sim {
-
-namespace {
-
-/**
- * Classify one idle period [gap_start, gap_end) given the shutdown
- * (if any) that happened inside it, and tally it.
- *
- * @param shutdown_at Time the disk was spun down, or -1 for none.
- */
-void
-classifyGap(TimeUs gap_start, TimeUs gap_end, TimeUs shutdown_at,
-            pred::DecisionSource source, TimeUs breakeven,
-            AccuracyStats &stats)
-{
-    const TimeUs gap = gap_end - gap_start;
-    const bool opportunity = gap > breakeven;
-    if (opportunity)
-        ++stats.opportunities;
-
-    if (shutdown_at >= 0) {
-        // A consent without a mechanism behind it (a process that
-        // never performed I/O holding the latest decision) counts as
-        // backup: no primary predictor claimed it.
-        const pred::DecisionSource effective =
-            source == pred::DecisionSource::None
-                ? pred::DecisionSource::Backup
-                : source;
-        const TimeUs off_time = gap_end - shutdown_at;
-        if (opportunity && off_time >= breakeven)
-            stats.recordHit(effective);
-        else
-            stats.recordMiss(effective);
-    } else if (opportunity) {
-        ++stats.notPredicted;
-    }
-}
-
-/**
- * Shutdown semantics of a standing local decision over a gap ending
- * at @p gap_end: the spin-down fires at decision.earliest when that
- * falls inside the gap. @return the shutdown time or -1.
- */
-TimeUs
-localShutdownTime(const pred::ShutdownDecision &decision,
-                  TimeUs gap_start, TimeUs gap_end)
-{
-    if (decision.earliest == kTimeNever)
-        return -1;
-    const TimeUs at = std::max(decision.earliest, gap_start);
-    return at < gap_end ? at : -1;
-}
-
-/**
- * One execution of the global simulation. With @p multi_state, a
- * primary prediction parks the disk in the low-power idle mode
- * immediately (Section 7's future-work extension).
- */
-RunResult
-runGlobalExecution(const ExecutionInput &input, PolicySession &session,
-                   const SimParams &params, bool multi_state = false)
-{
-    session.beginExecution();
-    core::GlobalShutdownPredictor gsp(
-        [&session](Pid pid, TimeUs start) {
-            return session.makeLocal(pid, start);
-        });
-    power::PowerManagedDisk disk(params.disk);
-    RunResult result;
-
-    TimeUs gap_start = -1;  ///< arrival of the last access
-    TimeUs seg_start = -1;  ///< earliest instant not yet checked
-    TimeUs shutdown_at = -1;
-    pred::DecisionSource shutdown_source = pred::DecisionSource::None;
-    TimeUs last_completion = 0; ///< when the disk last went idle
-
-    // Issue the pending spin-down to the disk. The power manager's
-    // order stands from shutdown_at on; if the disk is still busy
-    // then (e.g. finishing a post-spin-up service), it spins down as
-    // soon as it goes idle — provided that still happens before the
-    // gap ends.
-    bool low_power_pending = false;
-
-    auto issue_shutdown = [&](TimeUs gap_end) {
-        if (low_power_pending) {
-            // The prediction parked the disk in low-power mode as
-            // soon as it went idle.
-            const TimeUs at = std::max(last_completion, gap_start);
-            if (at < gap_end)
-                disk.enterLowPower(at);
-            low_power_pending = false;
-        }
-        if (shutdown_at < 0)
-            return;
-        const TimeUs at = std::max(shutdown_at, last_completion);
-        if (at >= gap_end || !disk.shutdown(at))
-            ++result.ignoredShutdowns;
-    };
-
-    // Decide whether the standing global decision fires a shutdown
-    // inside [seg_start, until); constraints may have changed at
-    // process starts/exits, so this runs before every event.
-    auto check_shutdown = [&](TimeUs until) {
-        if (gap_start < 0 || shutdown_at >= 0) {
-            seg_start = until;
-            return;
-        }
-        const pred::ShutdownDecision d = gsp.globalDecision();
-        if (d.earliest != kTimeNever) {
-            const TimeUs candidate = std::max(d.earliest, seg_start);
-            if (candidate < until) {
-                shutdown_at = candidate;
-                shutdown_source = d.source;
-            }
-        }
-        seg_start = until;
-    };
-
-    // The merged schedule is precomputed once per input and shared
-    // by every policy run replaying it (see ExecutionInput::finalize).
-    for (const SimEvent &event : input.simEvents()) {
-        check_shutdown(event.time);
-        switch (event.kind) {
-          case SimEventKind::ProcessStart:
-            gsp.processStart(event.pid, event.time);
-            break;
-          case SimEventKind::ProcessExit:
-            gsp.processExit(event.pid, event.time);
-            break;
-          case SimEventKind::Access: {
-            const trace::DiskAccess &access =
-                input.accesses[event.accessIndex];
-            if (gap_start >= 0) {
-                classifyGap(gap_start, access.time, shutdown_at,
-                            shutdown_source, params.breakeven(),
-                            result.accuracy);
-            }
-            issue_shutdown(access.time);
-            last_completion =
-                disk.request(access.time, access.blocks);
-            const pred::ShutdownDecision d = gsp.onAccess(access);
-            low_power_pending =
-                multi_state &&
-                d.source == pred::DecisionSource::Primary;
-            gap_start = access.time;
-            seg_start = access.time;
-            shutdown_at = -1;
-            shutdown_source = pred::DecisionSource::None;
-            break;
-          }
-        }
-    }
-
-    // Trailing idle period to the end of the execution.
-    check_shutdown(input.endTime);
-    if (gap_start >= 0) {
-        classifyGap(gap_start, input.endTime, shutdown_at,
-                    shutdown_source, params.breakeven(),
-                    result.accuracy);
-        issue_shutdown(input.endTime);
-    }
-    disk.finish(input.endTime);
-
-    result.energy = disk.ledger();
-    result.shutdowns = disk.shutdownCount();
-    result.spinUps = disk.spinUpCount();
-    result.totalSpinUpDelay = disk.totalSpinUpDelay();
-    return result;
-}
-
-} // namespace
-
-void
-RunResult::merge(const RunResult &other)
-{
-    accuracy.merge(other.accuracy);
-    energy.merge(other.energy);
-    shutdowns += other.shutdowns;
-    spinUps += other.spinUps;
-    ignoredShutdowns += other.ignoredShutdowns;
-    totalSpinUpDelay += other.totalSpinUpDelay;
-}
 
 AccuracyStats
 runLocal(const std::vector<ExecutionInput> &executions,
          PolicySession &session, const SimParams &params)
 {
-    AccuracyStats total;
-
-    for (const ExecutionInput &input : executions) {
-        session.beginExecution();
-
-        struct LocalCtx
-        {
-            std::unique_ptr<pred::ShutdownPredictor> predictor;
-            TimeUs prev = -1;
-            pred::ShutdownDecision decision;
-            TimeUs spanEnd = 0;
-        };
-        std::map<Pid, LocalCtx> contexts;
-        for (const auto &span : input.processes) {
-            LocalCtx ctx;
-            ctx.predictor = session.makeLocal(span.pid, span.start);
-            ctx.decision = pred::initialConsent(span.start);
-            ctx.spanEnd = span.end;
-            contexts.emplace(span.pid, std::move(ctx));
-        }
-
-        // Feed accesses in global time order so processes sharing a
-        // prediction table train it in the order it would really
-        // fill.
-        for (const auto &access : input.accesses) {
-            auto it = contexts.find(access.pid);
-            if (it == contexts.end())
-                continue;
-            LocalCtx &ctx = it->second;
-
-            if (ctx.prev >= 0) {
-                classifyGap(ctx.prev, access.time,
-                            localShutdownTime(ctx.decision, ctx.prev,
-                                              access.time),
-                            ctx.decision.source, params.breakeven(),
-                            total);
-            }
-
-            pred::IoContext io;
-            io.time = access.time;
-            io.sincePrev =
-                ctx.prev >= 0 ? access.time - ctx.prev : -1;
-            io.pc = access.pc;
-            io.fd = access.fd;
-            io.file = access.file;
-            io.isWrite = access.isWrite;
-            ctx.decision = ctx.predictor->onIo(io);
-            ctx.prev = access.time;
-        }
-
-        // Trailing idle period of each process, to its exit.
-        for (auto &[pid, ctx] : contexts) {
-            if (ctx.prev < 0 || ctx.spanEnd <= ctx.prev)
-                continue;
-            classifyGap(ctx.prev, ctx.spanEnd,
-                        localShutdownTime(ctx.decision, ctx.prev,
-                                          ctx.spanEnd),
-                        ctx.decision.source, params.breakeven(),
-                        total);
-        }
-    }
-    return total;
+    LocalDriver driver(session);
+    SimulationKernel kernel(params);
+    return kernel.run(executions, driver).accuracy;
 }
 
 RunResult
 runGlobal(const std::vector<ExecutionInput> &executions,
           PolicySession &session, const SimParams &params)
 {
-    RunResult total;
-    for (const ExecutionInput &input : executions)
-        total.merge(runGlobalExecution(input, session, params));
-    return total;
+    GlobalDriver driver(session);
+    SimulationKernel kernel(params);
+    return kernel.run(executions, driver);
 }
 
 RunResult
 runGlobalMultiState(const std::vector<ExecutionInput> &executions,
                     PolicySession &session, const SimParams &params)
 {
-    RunResult total;
-    for (const ExecutionInput &input : executions) {
-        total.merge(
-            runGlobalExecution(input, session, params, true));
-    }
-    return total;
+    GlobalDriver driver(session, {.multiState = true});
+    SimulationKernel kernel(params);
+    return kernel.run(executions, driver);
 }
 
 RunResult
 runBase(const std::vector<ExecutionInput> &executions,
         const SimParams &params)
 {
-    RunResult total;
-    for (const ExecutionInput &input : executions) {
-        power::PowerManagedDisk disk(params.disk);
-        RunResult result;
-        for (const auto &access : input.accesses)
-            disk.request(access.time, access.blocks);
-        disk.finish(input.endTime);
-        result.energy = disk.ledger();
-        result.accuracy.opportunities =
-            input.countGlobalOpportunities(params.breakeven());
-        result.accuracy.notPredicted =
-            result.accuracy.opportunities;
-        total.merge(result);
-    }
-    return total;
+    BaseDriver driver;
+    SimulationKernel kernel(params);
+    return kernel.run(executions, driver);
 }
 
 RunResult
 runIdeal(const std::vector<ExecutionInput> &executions,
          const SimParams &params)
 {
-    RunResult total;
-    for (const ExecutionInput &input : executions) {
-        power::PowerManagedDisk disk(params.disk);
-        RunResult result;
-
-        for (std::size_t i = 0; i < input.accesses.size(); ++i) {
-            const auto &access = input.accesses[i];
-            const TimeUs completion =
-                disk.request(access.time, access.blocks);
-            const TimeUs next = i + 1 < input.accesses.size()
-                                    ? input.accesses[i + 1].time
-                                    : input.endTime;
-            const TimeUs gap = next - access.time;
-            if (gap > params.breakeven())
-                ++result.accuracy.opportunities;
-            // With future knowledge, spin down the moment the disk
-            // goes idle — but only when the off-time pays off.
-            if (next - completion >= params.breakeven() &&
-                disk.shutdown(completion)) {
-                result.accuracy.recordHit(
-                    pred::DecisionSource::Primary);
-            } else if (gap > params.breakeven()) {
-                ++result.accuracy.notPredicted;
-            }
-        }
-        disk.finish(input.endTime);
-        result.energy = disk.ledger();
-        result.shutdowns = disk.shutdownCount();
-        result.spinUps = disk.spinUpCount();
-        result.totalSpinUpDelay = disk.totalSpinUpDelay();
-        total.merge(result);
-    }
-    return total;
+    OracleDriver driver;
+    SimulationKernel kernel(params);
+    return kernel.run(executions, driver);
 }
 
 } // namespace pcap::sim

@@ -1,11 +1,12 @@
 /**
  * @file
- * The trace simulator (Section 6): replays post-cache disk access
- * streams against a power-management policy, classifies every idle
- * period (hit / miss / not-predicted) and accounts energy by driving
- * the power-managed disk model.
+ * Compatibility façade over the replay kernel (Section 6).
  *
- * Two evaluation modes match the paper's two accuracy figures:
+ * Historically this header owned five hand-rolled replay loops; the
+ * replay itself now lives in kernel.hpp (SimulationKernel) and the
+ * per-mode behaviour in drivers.hpp (PolicyDriver strategies). The
+ * free functions below construct the matching driver and delegate,
+ * keeping the original entry points for callers and tests:
  *
  *  - runLocal(): every process's stream is judged by its own local
  *    predictor in isolation, normalized to per-process idle periods
@@ -24,35 +25,12 @@
 
 #include <vector>
 
-#include "power/disk.hpp"
 #include "sim/input.hpp"
+#include "sim/kernel.hpp"
 #include "sim/policy.hpp"
 #include "sim/stats.hpp"
 
 namespace pcap::sim {
-
-/** Parameters shared by every simulation run. */
-struct SimParams
-{
-    power::DiskParams disk;
-
-    /** The breakeven time used for idle-period classification. */
-    TimeUs breakeven() const { return disk.breakevenTime; }
-};
-
-/** Outcome of one policy over a set of executions. */
-struct RunResult
-{
-    AccuracyStats accuracy;
-    power::EnergyLedger energy;
-    std::uint64_t shutdowns = 0;   ///< spin-downs actually performed
-    std::uint64_t spinUps = 0;     ///< on-demand spin-ups
-    std::uint64_t ignoredShutdowns = 0; ///< orders the disk refused
-    TimeUs totalSpinUpDelay = 0;   ///< latency added by spin-ups
-
-    /** Fold another run (e.g. another execution) into this one. */
-    void merge(const RunResult &other);
-};
 
 /**
  * Local-predictor evaluation (Figure 6): per-process streams, fresh

@@ -1,0 +1,541 @@
+/**
+ * @file
+ * The replay kernel, its policy drivers and the observer layer.
+ *
+ *  - Reference parity: every report of the byte-compared suite,
+ *    rendered through the kernel/driver path, must match
+ *    bench/reference/BENCH_RESULTS.ref.json line for line.
+ *  - Observer ordering: a scripted execution with hand-computable
+ *    shutdowns must fire the callbacks in replay order.
+ *  - Policy registry: the names resolve, unknown names are rejected.
+ *  - JSONL traces: per-idle-period records reconcile with the
+ *    AccuracyStats the same run reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+#include <unistd.h>
+
+#include "reports.hpp"
+#include "sim/drivers.hpp"
+#include "sim/experiment.hpp"
+#include "sim/kernel.hpp"
+#include "sim/observer.hpp"
+#include "sim/simulator.hpp"
+
+namespace pcap::sim {
+namespace {
+
+// ---------------------------------------------------------------
+// Minimal JSON reader — util/json.hpp is write-only, and the test
+// only needs reports.<name>.lines (arrays of strings) from the
+// reference file.
+// ---------------------------------------------------------------
+
+class MiniJsonReader
+{
+  public:
+    explicit MiniJsonReader(std::string text) : text_(std::move(text))
+    {
+    }
+
+    /** reports.<name>.lines for every report in the file. */
+    std::map<std::string, std::vector<std::string>> referenceLines()
+    {
+        std::map<std::string, std::vector<std::string>> result;
+        expect('{');
+        while (peek() != '}') {
+            const std::string key = parseString();
+            expect(':');
+            if (key != "reports") {
+                skipValue();
+            } else {
+                expect('{');
+                while (peek() != '}') {
+                    const std::string name = parseString();
+                    expect(':');
+                    result[name] = parseReportLines();
+                    if (peek() == ',')
+                        ++pos_;
+                }
+                expect('}');
+            }
+            if (peek() == ',')
+                ++pos_;
+        }
+        return result;
+    }
+
+  private:
+    std::vector<std::string> parseReportLines()
+    {
+        std::vector<std::string> lines;
+        expect('{');
+        while (peek() != '}') {
+            const std::string key = parseString();
+            expect(':');
+            if (key != "lines") {
+                skipValue();
+            } else {
+                expect('[');
+                while (peek() != ']') {
+                    lines.push_back(parseString());
+                    if (peek() == ',')
+                        ++pos_;
+                }
+                expect(']');
+            }
+            if (peek() == ',')
+                ++pos_;
+        }
+        expect('}');
+        return lines;
+    }
+
+    char peek()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\r' || text_[pos_] == '\t'))
+            ++pos_;
+        EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void expect(char c)
+    {
+        ASSERT_EQ(peek(), c) << "at offset " << pos_;
+        ++pos_;
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case 'n': out.push_back('\n'); break;
+              case 't': out.push_back('\t'); break;
+              case 'r': out.push_back('\r'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'u': {
+                // Reference lines are ASCII; decode the low byte.
+                const std::string hex = text_.substr(pos_, 4);
+                pos_ += 4;
+                out.push_back(static_cast<char>(
+                    std::stoul(hex, nullptr, 16) & 0x7f));
+                break;
+              }
+              default: out.push_back(esc); break;
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    void skipValue()
+    {
+        const char c = peek();
+        if (c == '"') {
+            parseString();
+        } else if (c == '{' || c == '[') {
+            const char close = c == '{' ? '}' : ']';
+            ++pos_;
+            while (peek() != close) {
+                if (c == '{') {
+                    parseString();
+                    expect(':');
+                }
+                skipValue();
+                if (peek() == ',')
+                    ++pos_;
+            }
+            ++pos_;
+        } else {
+            // Number / true / false / null: scan to a delimiter.
+            while (pos_ < text_.size() && text_[pos_] != ',' &&
+                   text_[pos_] != '}' && text_[pos_] != ']')
+                ++pos_;
+        }
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+// ---------------------------------------------------------------
+// Reference parity: the kernel/driver path must reproduce the
+// committed pre-refactor reference byte for byte.
+// ---------------------------------------------------------------
+
+TEST(KernelParity, EveryReportMatchesReference)
+{
+    std::ifstream ref_file(PCAP_REFERENCE_JSON);
+    ASSERT_TRUE(ref_file) << "missing " << PCAP_REFERENCE_JSON;
+    std::ostringstream buffer;
+    buffer << ref_file.rdbuf();
+    MiniJsonReader reader(buffer.str());
+    const auto reference = reader.referenceLines();
+    ASSERT_EQ(reference.size(), 15u);
+
+    ParallelOptions options;
+    options.jobs = 2;
+    ParallelEvaluation eval(bench::standardConfig(), options);
+    bench::ReportContext ctx{
+        eval, [](const ExperimentConfig &config) {
+            return std::unique_ptr<EvaluationApi>(
+                new ParallelEvaluation(config, {}));
+        }};
+
+    for (const bench::Report &report : bench::allReports()) {
+        if (report.optIn) {
+            EXPECT_EQ(reference.count(report.name), 0u)
+                << report.name
+                << " is opt-in but present in the reference";
+            continue;
+        }
+        ASSERT_EQ(reference.count(report.name), 1u) << report.name;
+        std::ostringstream text;
+        report.run(ctx, text);
+        EXPECT_EQ(splitLines(text.str()), reference.at(report.name))
+            << "report " << report.name
+            << " diverged from the reference";
+    }
+}
+
+// ---------------------------------------------------------------
+// Observer callback ordering on a scripted execution
+// ---------------------------------------------------------------
+
+/** Records every callback as a compact event string. */
+class RecordingObserver final : public SimObserver
+{
+  public:
+    std::vector<std::string> events;
+    std::vector<IdlePeriodRecord> records;
+
+    void onExecutionBegin(const ExecutionInput &) override
+    {
+        events.push_back("begin");
+    }
+    void onExecutionEnd(const ExecutionInput &,
+                        const RunResult &) override
+    {
+        events.push_back("end");
+    }
+    void onIdlePeriod(const IdlePeriodRecord &record) override
+    {
+        events.push_back(std::string("idle:") +
+                         idleOutcomeName(record.outcome));
+        records.push_back(record);
+    }
+    void onShutdownIssued(TimeUs at) override
+    {
+        events.push_back("shutdown@" + std::to_string(at));
+    }
+    void onShutdownIgnored(TimeUs at) override
+    {
+        events.push_back("ignored@" + std::to_string(at));
+    }
+    void onDiskStateChange(TimeUs, power::DiskState from,
+                           power::DiskState to) override
+    {
+        events.push_back(std::string("state:") +
+                         power::diskStateName(from) + "->" +
+                         power::diskStateName(to));
+    }
+    void onSpinUpServed(TimeUs at, TimeUs) override
+    {
+        events.push_back("spinup@" + std::to_string(at));
+    }
+
+    /** Index of the first event equal to @p needle, or npos. */
+    std::size_t indexOf(const std::string &needle) const
+    {
+        const auto it =
+            std::find(events.begin(), events.end(), needle);
+        return it == events.end()
+                   ? std::string::npos
+                   : static_cast<std::size_t>(it - events.begin());
+    }
+};
+
+/** One process, accesses at 1 s / 2 s / 50 s, end at 100 s. */
+ExecutionInput
+scriptedInput()
+{
+    ExecutionInput input;
+    input.app = "scripted";
+    for (double at : {1.0, 2.0, 50.0}) {
+        trace::DiskAccess access;
+        access.time = secondsUs(at);
+        access.pid = 7;
+        access.blocks = 1;
+        input.accesses.push_back(access);
+    }
+    input.processes.push_back({7, 0, secondsUs(100.0)});
+    input.endTime = secondsUs(100.0);
+    return input;
+}
+
+TEST(ObserverOrdering, ScriptedGlobalTimeoutRun)
+{
+    // TP with a 10 s timer: the 1 s gap is short; the 2 s -> 50 s
+    // gap spins down at 12 s (hit); the trailing 50 s -> 100 s gap
+    // spins down at 60 s (hit); the 50 s access pays one spin-up.
+    RecordingObserver observer;
+    SimulationKernel kernel(SimParams{}, observer);
+    PolicySession session(policyByName("TP"));
+    GlobalDriver driver(session);
+
+    const RunResult result =
+        kernel.runExecution(scriptedInput(), driver);
+
+    EXPECT_EQ(result.shutdowns, 2u);
+    EXPECT_EQ(result.spinUps, 1u);
+    EXPECT_EQ(result.ignoredShutdowns, 0u);
+    EXPECT_EQ(result.accuracy.opportunities, 2u);
+    EXPECT_EQ(result.accuracy.hitPrimary, 2u);
+    EXPECT_EQ(result.accuracy.hits(), 2u);
+    EXPECT_EQ(result.accuracy.misses(), 0u);
+    EXPECT_EQ(result.accuracy.notPredicted, 0u);
+
+    // One record per idle period, in replay order.
+    ASSERT_EQ(observer.records.size(), 3u);
+    EXPECT_EQ(observer.records[0].outcome, IdleOutcome::Short);
+    EXPECT_EQ(observer.records[0].start, secondsUs(1.0));
+    EXPECT_EQ(observer.records[0].end, secondsUs(2.0));
+    EXPECT_EQ(observer.records[0].shutdownAt, -1);
+    EXPECT_EQ(observer.records[1].outcome, IdleOutcome::HitPrimary);
+    EXPECT_EQ(observer.records[1].shutdownAt, secondsUs(12.0));
+    EXPECT_EQ(observer.records[1].source,
+              pred::DecisionSource::Primary);
+    EXPECT_EQ(observer.records[2].outcome, IdleOutcome::HitPrimary);
+    EXPECT_EQ(observer.records[2].shutdownAt, secondsUs(60.0));
+    for (const IdlePeriodRecord &record : observer.records)
+        EXPECT_EQ(record.pid, kMergedStreamPid);
+
+    // Callback ordering: begin first, end last; the hit gap is
+    // classified before its shutdown is issued, and the spin-up at
+    // 50 s happens after that shutdown.
+    ASSERT_FALSE(observer.events.empty());
+    EXPECT_EQ(observer.events.front(), "begin");
+    EXPECT_EQ(observer.events.back(), "end");
+    const std::size_t hit = observer.indexOf("idle:hit_primary");
+    const std::size_t down = observer.indexOf(
+        "shutdown@" + std::to_string(secondsUs(12.0)));
+    const std::size_t up = observer.indexOf(
+        "spinup@" + std::to_string(secondsUs(50.0)));
+    ASSERT_NE(hit, std::string::npos);
+    ASSERT_NE(down, std::string::npos);
+    ASSERT_NE(up, std::string::npos);
+    EXPECT_LT(hit, down);
+    EXPECT_LT(down, up);
+
+    // The disk reported both spin-downs and the spin-up recovery.
+    const auto count = [&](const std::string &event) {
+        return std::count(observer.events.begin(),
+                          observer.events.end(), event);
+    };
+    EXPECT_EQ(count("state:idle->standby"), 2);
+    EXPECT_EQ(count("state:standby->active"), 1);
+    EXPECT_EQ(count("ignored@" + std::to_string(secondsUs(12.0))),
+              0);
+}
+
+TEST(ObserverOrdering, NullObserverRunsMatchObservedRuns)
+{
+    // Observers are passive: attaching one must not change results.
+    const ExecutionInput input = scriptedInput();
+    PolicySession session_a(policyByName("PCAP"));
+    PolicySession session_b(policyByName("PCAP"));
+    GlobalDriver driver_a(session_a);
+    GlobalDriver driver_b(session_b);
+    RecordingObserver observer;
+    SimulationKernel plain{SimParams{}};
+    SimulationKernel observed(SimParams{}, observer);
+
+    const RunResult a = plain.runExecution(input, driver_a);
+    const RunResult b = observed.runExecution(input, driver_b);
+    EXPECT_EQ(a.accuracy.opportunities, b.accuracy.opportunities);
+    EXPECT_EQ(a.accuracy.hits(), b.accuracy.hits());
+    EXPECT_EQ(a.accuracy.misses(), b.accuracy.misses());
+    EXPECT_EQ(a.shutdowns, b.shutdowns);
+    EXPECT_EQ(a.spinUps, b.spinUps);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+TEST(ObserverOrdering, HistogramBoundariesMustAscend)
+{
+    EXPECT_EXIT(
+        IdleHistogramObserver({secondsUs(1.0), secondsUs(1.0)}),
+        testing::ExitedWithCode(1), "ascending");
+}
+
+// ---------------------------------------------------------------
+// Policy registry
+// ---------------------------------------------------------------
+
+TEST(PolicyRegistry, NamesInPaperOrder)
+{
+    const std::vector<std::string> expected = {
+        "TP",     "LT",    "LTa", "PCAP", "PCAPh", "PCAPf",
+        "PCAPfh", "PCAPa", "EA",  "SB",   "ATP"};
+    EXPECT_EQ(policyNames(), expected);
+}
+
+TEST(PolicyRegistry, FindPolicyResolvesConfigs)
+{
+    const auto pcap = findPolicy("PCAP");
+    ASSERT_TRUE(pcap.has_value());
+    EXPECT_EQ(pcap->label, "PCAP");
+    EXPECT_EQ(pcap->kind, PolicyKind::Pcap);
+
+    const auto lta = findPolicy("LTa");
+    ASSERT_TRUE(lta.has_value());
+    EXPECT_FALSE(lta->reuseTables);
+
+    EXPECT_FALSE(findPolicy("bogus").has_value());
+    EXPECT_FALSE(findPolicy("pcap").has_value()) // case-sensitive
+        << "registry lookups are exact";
+}
+
+TEST(PolicyRegistry, UnknownNameIsRejected)
+{
+    EXPECT_EXIT(policyByName("no-such-policy"),
+                testing::ExitedWithCode(1), "unknown policy");
+}
+
+// ---------------------------------------------------------------
+// LocalDriver: accesses without a process span are dropped loudly
+// but harmlessly (satellite of the refactor).
+// ---------------------------------------------------------------
+
+TEST(LocalDriverTest, UnknownPidAccessIsDroppedNotFatal)
+{
+    ExecutionInput clean = scriptedInput();
+
+    ExecutionInput dirty = scriptedInput();
+    trace::DiskAccess stray;
+    stray.time = secondsUs(3.0);
+    stray.pid = 99; // no process span
+    stray.blocks = 1;
+    dirty.accesses.insert(dirty.accesses.begin() + 2, stray);
+
+    PolicySession session_a(policyByName("TP"));
+    PolicySession session_b(policyByName("TP"));
+    const SimParams params;
+    const AccuracyStats a = runLocal({clean}, session_a, params);
+    testing::internal::CaptureStderr();
+    const AccuracyStats b = runLocal({dirty}, session_b, params);
+    const std::string log = testing::internal::GetCapturedStderr();
+
+    EXPECT_NE(log.find("pid 99"), std::string::npos)
+        << "dropped access must be reported";
+    EXPECT_EQ(a.opportunities, b.opportunities);
+    EXPECT_EQ(a.hits(), b.hits());
+    EXPECT_EQ(a.misses(), b.misses());
+    EXPECT_EQ(a.notPredicted, b.notPredicted);
+}
+
+// ---------------------------------------------------------------
+// JSONL trace reconciliation
+// ---------------------------------------------------------------
+
+std::uint64_t
+countOutcome(const std::vector<std::string> &lines,
+             const std::string &outcome)
+{
+    const std::string needle = "\"outcome\":\"" + outcome + "\"";
+    std::uint64_t count = 0;
+    for (const std::string &line : lines)
+        if (line.find(needle) != std::string::npos)
+            ++count;
+    return count;
+}
+
+TEST(TraceObserver, JsonlRecordsReconcileWithAccuracyStats)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("pcap-test-traces-" + std::to_string(getpid()));
+    fs::remove_all(dir);
+
+    ExperimentConfig config;
+    config.maxExecutions = 2;
+    ParallelOptions options;
+    options.jobs = 1;
+    options.traceDir = dir.string();
+    ParallelEvaluation eval(config, options);
+
+    const GlobalOutcome outcome =
+        eval.globalRun("mozilla", policyByName("PCAP"));
+    const AccuracyStats &stats = outcome.run.accuracy;
+
+    // Exactly one trace file for the one computed cell.
+    fs::path trace_path;
+    int files = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        ++files;
+        trace_path = entry.path();
+    }
+    ASSERT_EQ(files, 1);
+    const std::string name = trace_path.filename().string();
+    EXPECT_EQ(name.rfind("global-mozilla-PCAP-", 0), 0u) << name;
+
+    std::ifstream trace(trace_path);
+    ASSERT_TRUE(trace);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(trace, line))
+        lines.push_back(line);
+
+    // Per-record outcome counts must reconcile with the stats the
+    // same run reported.
+    EXPECT_EQ(countOutcome(lines, "hit_primary"), stats.hitPrimary);
+    EXPECT_EQ(countOutcome(lines, "hit_backup"), stats.hitBackup);
+    EXPECT_EQ(countOutcome(lines, "miss_primary"),
+              stats.missPrimary);
+    EXPECT_EQ(countOutcome(lines, "miss_backup"), stats.missBackup);
+    EXPECT_EQ(countOutcome(lines, "not_predicted"),
+              stats.notPredicted);
+    // Short periods are traced too, but never tallied: record count
+    // = stats total + shorts.
+    const std::uint64_t tallied = stats.hits() + stats.misses() +
+                                  stats.notPredicted;
+    EXPECT_EQ(lines.size(),
+              tallied + countOutcome(lines, "short"));
+    EXPECT_GT(lines.size(), tallied);
+
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace pcap::sim
