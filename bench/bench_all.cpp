@@ -24,8 +24,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 #include "reports.hpp"
 #include "util/json.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -62,8 +66,61 @@ usage(std::ostream &os)
           "      --trace-dir P write one per-idle-period JSONL "
           "trace per\n"
           "                    simulation cell into directory P\n"
+          "      --metrics-out P  Prometheus text metrics file "
+          "(default:\n"
+          "                    <json>.prom; '-' disables)\n"
+          "      --manifest P  run manifest file (default: "
+          "<json>.manifest.json;\n"
+          "                    '-' disables)\n"
+          "      --no-metrics  disable metric collection "
+          "entirely\n"
+          "      --log-level L debug|info|warn|error|silent "
+          "(default: info)\n"
           "      --list        list report names and exit\n"
           "  -h, --help        this text\n";
+}
+
+/** "<stem>.json" -> "<stem><suffix>"; otherwise append @p suffix. */
+std::string
+derivedPath(const std::string &json_path, const std::string &suffix)
+{
+    constexpr char kExt[] = ".json";
+    const std::size_t ext = sizeof(kExt) - 1;
+    if (json_path.size() > ext &&
+        json_path.compare(json_path.size() - ext, ext, kExt) == 0)
+        return json_path.substr(0, json_path.size() - ext) + suffix;
+    return json_path + suffix;
+}
+
+/**
+ * Process-wide wall metrics owned by bench_all itself: per-phase
+ * timings and the thread-pool counters. All names contain "wall" or
+ * "thread_pool", so tools/metrics_diff.py ignores them by default.
+ */
+void
+recordBenchMetrics(obs::MetricsRegistry &registry, double inputs_ms,
+                   double cells_ms, double total_ms)
+{
+    registry
+        .timer("pcap_bench_phase_wall_seconds", {{"phase", "inputs"}})
+        .addSeconds(inputs_ms / 1e3);
+    registry
+        .timer("pcap_bench_phase_wall_seconds",
+               {{"phase", "simulation"}})
+        .addSeconds(cells_ms / 1e3);
+    registry
+        .timer("pcap_bench_phase_wall_seconds", {{"phase", "total"}})
+        .addSeconds(total_ms / 1e3);
+
+    const ThreadPool::GlobalStats pool = ThreadPool::globalStats();
+    registry.counter("pcap_thread_pool_tasks_submitted_total")
+        .inc(pool.tasksSubmitted);
+    registry.counter("pcap_thread_pool_tasks_executed_total")
+        .inc(pool.tasksExecuted);
+    registry.gauge("pcap_thread_pool_task_wall_seconds")
+        .set(static_cast<double>(pool.taskNanos) * 1e-9);
+    registry.gauge("pcap_thread_pool_peak_queue_depth")
+        .set(static_cast<double>(pool.peakQueueDepth));
 }
 
 Json
@@ -84,16 +141,19 @@ main(int argc, char **argv)
 {
     unsigned jobs = ThreadPool::hardwareJobs();
     bool use_cache = true;
+    bool use_metrics = true;
     std::string cache_dir;
     std::string json_path = "BENCH_RESULTS.json";
     std::string trace_dir;
+    std::string metrics_path;
+    std::string manifest_path;
     std::vector<std::string> only;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&](const char *flag) -> std::string {
             if (++i >= argc) {
-                std::cerr << flag << " needs a value\n";
+                error(std::string(flag) + " needs a value");
                 std::exit(2);
             }
             return argv[i];
@@ -115,9 +175,8 @@ main(int argc, char **argv)
                 }
             }
             if (!digits || used != text.size() || parsed > 4096) {
-                std::cerr << "--jobs needs an integer in [0, 4096], "
-                             "got '"
-                          << text << "'\n";
+                error("--jobs needs an integer in [0, 4096], got '" +
+                      text + "'");
                 std::exit(2);
             }
             return static_cast<unsigned>(parsed);
@@ -141,6 +200,22 @@ main(int argc, char **argv)
             json_path = value("--json");
         } else if (arg == "--trace-dir") {
             trace_dir = value("--trace-dir");
+        } else if (arg == "--metrics-out") {
+            metrics_path = value("--metrics-out");
+        } else if (arg == "--manifest") {
+            manifest_path = value("--manifest");
+        } else if (arg == "--no-metrics") {
+            use_metrics = false;
+        } else if (arg == "--log-level") {
+            const std::string name = value("--log-level");
+            const auto level = logLevelFromName(name);
+            if (!level) {
+                error("--log-level needs one of debug|info|warn|"
+                      "error|silent, got '" +
+                      name + "'");
+                return 2;
+            }
+            setLogLevel(*level);
         } else if (arg == "--only") {
             std::istringstream names(value("--only"));
             std::string name;
@@ -149,16 +224,27 @@ main(int argc, char **argv)
                 if (!name.empty())
                     only.push_back(name);
             if (only.size() == before) {
-                std::cerr << "--only needs at least one report "
-                             "name (see --list)\n";
+                error("--only needs at least one report name "
+                      "(see --list)");
                 return 2;
             }
         } else {
-            std::cerr << "unknown option: " << arg << "\n";
+            error("unknown option: " + arg);
             usage(std::cerr);
             return 2;
         }
     }
+
+    // Derive the companion outputs from the results path; '-'
+    // disables each individually.
+    if (metrics_path.empty() && json_path != "-")
+        metrics_path = derivedPath(json_path, ".prom");
+    if (manifest_path.empty() && json_path != "-")
+        manifest_path = derivedPath(json_path, ".manifest.json");
+    if (!use_metrics)
+        metrics_path = "-";
+
+    obs::MetricsRegistry registry;
 
     sim::ParallelOptions options;
     options.jobs = jobs;
@@ -168,6 +254,7 @@ main(int argc, char **argv)
                                : cache_dir;
     }
     options.traceDir = trace_dir;
+    options.metrics = use_metrics ? &registry : nullptr;
 
     sim::ParallelEvaluation eval(bench::standardConfig(), options);
     bench::ReportContext ctx{
@@ -187,7 +274,7 @@ main(int argc, char **argv)
             selected.push_back(&report);
     }
     if (selected.empty()) {
-        std::cerr << "no matching reports (see --list)\n";
+        error("no matching reports (see --list)");
         return 2;
     }
 
@@ -245,6 +332,25 @@ main(int argc, char **argv)
               << "total:            " << fixedString(total_ms, 1)
               << " ms\n";
 
+    if (use_metrics) {
+        // Workload-cache counters, labelled like the rest of the
+        // wall-clock metrics family (cold/warm runs differ here by
+        // design — metrics_diff ignores workload_cache by default).
+        registry
+            .counter("pcap_workload_cache_ops_total",
+                     {{"op", "hit"}})
+            .inc(eval.workloadCache().hits());
+        registry
+            .counter("pcap_workload_cache_ops_total",
+                     {{"op", "miss"}})
+            .inc(eval.workloadCache().misses());
+        registry
+            .counter("pcap_workload_cache_ops_total",
+                     {{"op", "store"}})
+            .inc(eval.workloadCache().stores());
+        recordBenchMetrics(registry, inputs_ms, cells_ms, total_ms);
+    }
+
     if (json_path != "-") {
         Json root = Json::object();
         root["schema"] = "pcap-bench-results-v1";
@@ -265,15 +371,68 @@ main(int argc, char **argv)
         timings["total"] = total_ms;
         timings["reports"] = std::move(timing_json);
         root["reports"] = std::move(report_json);
+        if (use_metrics)
+            root["metrics"] = obs::metricsToJson(registry);
 
         std::ofstream os(json_path);
         if (!os) {
-            std::cerr << "cannot write " << json_path << "\n";
+            error("cannot write " + json_path);
             return 1;
         }
         root.dump(os);
         os << "\n";
         std::cout << "results: " << json_path << "\n";
+    }
+
+    if (use_metrics && metrics_path != "-") {
+        std::ofstream os(metrics_path);
+        if (!os) {
+            error("cannot write " + metrics_path);
+            return 1;
+        }
+        obs::writePrometheus(registry, os);
+        if (!os) {
+            error("write failed on " + metrics_path);
+            return 1;
+        }
+        std::cout << "metrics: " << metrics_path << "\n";
+    }
+
+    if (manifest_path != "-" && !manifest_path.empty()) {
+        obs::RunManifest manifest;
+        manifest.createdAtUtc = obs::isoTimestampUtc();
+        manifest.gitDescribe = obs::collectGitDescribe(".");
+        for (int i = 0; i < argc; ++i) {
+            if (i)
+                manifest.command += ' ';
+            manifest.command += argv[i];
+        }
+        manifest.seed = bench::kBenchSeed;
+        manifest.jobs = options.jobs;
+        manifest.maxExecutions = eval.config().maxExecutions;
+        manifest.workloadCacheEnabled =
+            eval.workloadCache().enabled();
+        manifest.workloadCacheDir = eval.workloadCache().directory();
+        for (const std::string &app : eval.appNames()) {
+            manifest.inputKeys.emplace_back(
+                app, eval.config().workloadKey(app).fileName());
+        }
+        manifest.phaseMs.emplace_back("inputs", inputs_ms);
+        manifest.phaseMs.emplace_back("simulation", cells_ms);
+        manifest.phaseMs.emplace_back("total", total_ms);
+        for (const bench::Report *report : selected)
+            manifest.reports.push_back(report->name);
+        manifest.resultsPath = json_path == "-" ? "" : json_path;
+        manifest.prometheusPath =
+            (use_metrics && metrics_path != "-") ? metrics_path : "";
+
+        const std::string problem =
+            obs::writeManifest(manifest, manifest_path);
+        if (!problem.empty()) {
+            error("manifest: " + problem);
+            return 1;
+        }
+        std::cout << "manifest: " << manifest_path << "\n";
     }
     return 0;
 }

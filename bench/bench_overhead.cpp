@@ -19,9 +19,12 @@
 
 #include "core/global.hpp"
 #include "core/pcap.hpp"
+#include "obs/metrics.hpp"
 #include "pred/learning_tree.hpp"
 #include "pred/timeout.hpp"
 #include "sim/input.hpp"
+#include "sim/kernel.hpp"
+#include "sim/observer.hpp"
 
 using namespace pcap;
 
@@ -248,6 +251,84 @@ BENCHMARK(BM_SlotStoreAccess<std::unordered_map<Pid, SlotLike>>)
     ->Arg(4)
     ->Arg(16)
     ->Arg(64);
+
+/**
+ * Observability hot paths (PR 3): the per-event cost of a resolved
+ * counter increment and histogram observe, the resolve (registry
+ * lookup) itself, and the end-to-end tax of hanging a
+ * MetricsObserver on the idle-period sink versus the NullObserver.
+ * The acceptance bar is <5% on the simulation hot path; the
+ * per-event costs here are the budget's denominators.
+ */
+void
+BM_MetricsCounterInc(benchmark::State &state)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter &counter = registry.counter("bm_total");
+    for (auto _ : state)
+        counter.inc();
+    benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void
+BM_MetricsHistogramObserve(benchmark::State &state)
+{
+    obs::MetricsRegistry registry;
+    obs::Histogram &histogram = registry.histogram(
+        "bm_hist", {1e4, 1e5, 1e6, 2e6, 1e7, 3e7, 6e7, 3e8});
+    double v = 0.0;
+    for (auto _ : state) {
+        v = v > 1e8 ? 1.0 : v * 3.0 + 7.0;
+        histogram.observe(v);
+    }
+    benchmark::DoNotOptimize(histogram.count());
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+void
+BM_MetricsRegistryLookup(benchmark::State &state)
+{
+    // The once-per-cell resolve path: mutex + hash of the series
+    // identity. Hot loops hoist this out; the benchmark documents
+    // why.
+    obs::MetricsRegistry registry;
+    registry.counter("bm_total", {{"app", "x"}});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            &registry.counter("bm_total", {{"app", "x"}}));
+    }
+}
+BENCHMARK(BM_MetricsRegistryLookup);
+
+template <bool WithMetrics>
+void
+BM_IdleSinkClassify(benchmark::State &state)
+{
+    obs::MetricsRegistry registry;
+    obs::ScopedMetrics scope(&registry, {{"app", "bm"}});
+    sim::SimParams params;
+    sim::MetricsObserver metrics(scope, params.breakeven());
+    sim::SimObserver &observer =
+        WithMetrics ? static_cast<sim::SimObserver &>(metrics)
+                    : sim::nullObserver();
+
+    sim::AccuracyStats stats;
+    sim::IdleSink sink(params.breakeven(), stats, observer);
+    TimeUs t = 0;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const TimeUs gap =
+            (++i % 3) ? secondsUs(30.0) : millisUs(100.0);
+        sink.classify(0, t, t + gap, (i % 3) ? t + secondsUs(5.0) : -1,
+                      pred::DecisionSource::Primary);
+        t += gap;
+    }
+    benchmark::DoNotOptimize(stats.opportunities);
+}
+BENCHMARK(BM_IdleSinkClassify<false>)->Name("BM_IdleSinkClassify/null");
+BENCHMARK(BM_IdleSinkClassify<true>)
+    ->Name("BM_IdleSinkClassify/metrics");
 
 void
 BM_TimeoutOnIo(benchmark::State &state)

@@ -5,6 +5,7 @@
 
 #include "power/disk_params.hpp"
 #include "sim/drivers.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 #include "workload/app_model.hpp"
 
@@ -1064,7 +1065,7 @@ runReportStandalone(const std::string &name)
         report.run(ctx, std::cout);
         return 0;
     }
-    std::cerr << "unknown report: " << name << "\n";
+    error("unknown report: " + name);
     return 1;
 }
 

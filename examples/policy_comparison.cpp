@@ -17,6 +17,7 @@
 #include <string>
 
 #include "sim/experiment.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 
 using namespace pcap;
@@ -35,11 +36,11 @@ main(int argc, char **argv)
     for (const std::string &name : eval.appNames())
         known = known || name == app;
     if (!known) {
-        std::cerr << "unknown application '" << app
-                  << "'; pick one of:";
+        std::string names;
         for (const std::string &name : eval.appNames())
-            std::cerr << ' ' << name;
-        std::cerr << '\n';
+            names += ' ' + name;
+        error("unknown application '" + app + "'; pick one of:" +
+              names);
         return 1;
     }
 

@@ -20,6 +20,7 @@
 #include "cache/file_cache.hpp"
 #include "sim/input.hpp"
 #include "trace/io.hpp"
+#include "util/logging.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/app_model.hpp"
@@ -72,7 +73,7 @@ main(int argc, char **argv)
 
     const auto model = workload::makeApp(app);
     if (!model) {
-        std::cerr << "unknown application '" << app << "'\n";
+        error("unknown application '" + app + "'");
         return 1;
     }
 
@@ -141,7 +142,7 @@ main(int argc, char **argv)
         if (error.empty())
             error = trace::saveTraceFile(trace, binary_path);
         if (!error.empty()) {
-            std::cerr << "save failed: " << error << "\n";
+            pcap::error("save failed: " + error);
             return 1;
         }
         std::cout << "\nsaved " << text_path << " and "

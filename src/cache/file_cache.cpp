@@ -269,4 +269,30 @@ filterTrace(const trace::Trace &trace, const CacheParams &params,
     return accesses;
 }
 
+void
+CacheStats::merge(const CacheStats &other)
+{
+    lookups += other.lookups;
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    writebackBlocks += other.writebackBlocks;
+    flushRuns += other.flushRuns;
+}
+
+void
+recordCacheMetrics(const CacheStats &stats,
+                   const obs::ScopedMetrics &scope)
+{
+    scope.counter("pcap_file_cache_lookups_total").inc(stats.lookups);
+    scope.counter("pcap_file_cache_hits_total").inc(stats.hits);
+    scope.counter("pcap_file_cache_misses_total").inc(stats.misses);
+    scope.counter("pcap_file_cache_evictions_total")
+        .inc(stats.evictions);
+    scope.counter("pcap_file_cache_writeback_blocks_total")
+        .inc(stats.writebackBlocks);
+    scope.counter("pcap_file_cache_flush_runs_total")
+        .inc(stats.flushRuns);
+}
+
 } // namespace pcap::cache

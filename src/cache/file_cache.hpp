@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "trace/event.hpp"
 #include "trace/trace.hpp"
 #include "util/types.hpp"
@@ -63,7 +64,18 @@ struct CacheStats
                              static_cast<double>(lookups)
                        : 0.0;
     }
+
+    /** Fold another run's statistics into this one. */
+    void merge(const CacheStats &other);
 };
+
+/**
+ * Add @p stats to @p scope's pcap_file_cache_* counters. The stats
+ * travel with the cached workload inputs, so the numbers are
+ * identical whether the inputs were generated or deserialized.
+ */
+void recordCacheMetrics(const CacheStats &stats,
+                        const obs::ScopedMetrics &scope);
 
 /**
  * LRU file cache with write-back and periodic dirty-data flushes.

@@ -3,10 +3,15 @@
  * Saturating confidence counter, as used throughout the branch
  * prediction literature the paper draws on (Smith 1981) and inside
  * our Learning Tree reconstruction.
+ *
+ * Folded into obs/ from util/counter.hpp when the metrics subsystem
+ * was built, consolidating the counting primitives in one module;
+ * unlike obs::Counter this one is a single-threaded predictor
+ * building block, not an exported metric.
  */
 
-#ifndef PCAP_UTIL_COUNTER_HPP
-#define PCAP_UTIL_COUNTER_HPP
+#ifndef PCAP_OBS_COUNTER_HPP
+#define PCAP_OBS_COUNTER_HPP
 
 #include <cstdint>
 
@@ -74,4 +79,4 @@ class SaturatingCounter
 
 } // namespace pcap
 
-#endif // PCAP_UTIL_COUNTER_HPP
+#endif // PCAP_OBS_COUNTER_HPP

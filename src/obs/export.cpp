@@ -1,0 +1,212 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace pcap::obs {
+
+namespace {
+
+/** Prometheus-compatible number: integers without a decimal point,
+ * everything else shortest-round-trip-ish %.12g (matching the JSON
+ * writer so the two exports agree). */
+std::string
+formatNumber(double value)
+{
+    if (std::isinf(value))
+        return value > 0 ? "+Inf" : "-Inf";
+    if (std::isnan(value))
+        return "NaN";
+    char buffer[40];
+    if (value == std::floor(value) && std::fabs(value) < 9.0e15) {
+        std::snprintf(buffer, sizeof(buffer), "%lld",
+                      static_cast<long long>(value));
+    } else {
+        std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+    }
+    return buffer;
+}
+
+/** Escape a Prometheus label value (backslash, quote, newline). */
+std::string
+escapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/** Render one label set as {k="v",...}; extra pairs appended last
+ * (used for the histogram "le" label). Empty set renders as "". */
+std::string
+labelBlock(const Labels &labels, const Labels &extra = {})
+{
+    if (labels.empty() && extra.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    auto append = [&](const Label &label) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += label.first;
+        out += "=\"";
+        out += escapeLabelValue(label.second);
+        out += '"';
+    };
+    for (const Label &label : labels)
+        append(label);
+    for (const Label &label : extra)
+        append(label);
+    out += '}';
+    return out;
+}
+
+Json
+labelsJson(const Labels &labels)
+{
+    Json object = Json::object();
+    for (const Label &label : labels)
+        object[label.first] = label.second;
+    return object;
+}
+
+/** Timer series name with the seconds unit, avoiding "_seconds"
+ * stutter when the registered name already carries it. */
+std::string
+timerSecondsName(const std::string &name)
+{
+    constexpr char kUnit[] = "_seconds";
+    const std::size_t unit = sizeof(kUnit) - 1;
+    if (name.size() >= unit &&
+        name.compare(name.size() - unit, unit, kUnit) == 0)
+        return name + "_total";
+    return name + "_seconds_total";
+}
+
+} // namespace
+
+Json
+metricsToJson(const MetricsRegistry &registry)
+{
+    Json root = Json::object();
+    root["schema"] = kMetricsSchema;
+    Json &series = root["series"];
+    series = Json::array();
+
+    for (const MetricsRegistry::Series &s : registry.snapshot()) {
+        Json entry = Json::object();
+        entry["name"] = s.name;
+        entry["type"] = metricKindName(s.kind);
+        entry["labels"] = labelsJson(s.labels);
+        switch (s.kind) {
+          case MetricKind::Counter:
+            entry["value"] = s.counter->value();
+            break;
+          case MetricKind::Gauge:
+            entry["value"] = s.gauge->value();
+            break;
+          case MetricKind::Histogram: {
+            entry["count"] = s.histogram->count();
+            entry["sum"] = s.histogram->sum();
+            Json &buckets = entry["buckets"];
+            buckets = Json::array();
+            for (std::size_t i = 0; i < s.histogram->bucketCount();
+                 ++i) {
+                Json bucket = Json::object();
+                const double upper = s.histogram->upper(i);
+                if (std::isinf(upper))
+                    bucket["le"] = "+Inf";
+                else
+                    bucket["le"] = upper;
+                bucket["count"] = s.histogram->bucketValue(i);
+                buckets.push(std::move(bucket));
+            }
+            break;
+          }
+          case MetricKind::Timer:
+            entry["seconds"] = s.timer->seconds();
+            entry["laps"] = s.timer->laps();
+            break;
+        }
+        series.push(std::move(entry));
+    }
+    return root;
+}
+
+void
+writePrometheus(const MetricsRegistry &registry, std::ostream &os)
+{
+    std::string last_name;
+    for (const MetricsRegistry::Series &s : registry.snapshot()) {
+        if (s.name != last_name) {
+            last_name = s.name;
+            const std::string help = registry.helpFor(s.name);
+            if (!help.empty())
+                os << "# HELP " << s.name << ' ' << help << '\n';
+            switch (s.kind) {
+              case MetricKind::Counter:
+                os << "# TYPE " << s.name << " counter\n";
+                break;
+              case MetricKind::Gauge:
+                os << "# TYPE " << s.name << " gauge\n";
+                break;
+              case MetricKind::Histogram:
+                os << "# TYPE " << s.name << " histogram\n";
+                break;
+              case MetricKind::Timer:
+                os << "# TYPE " << timerSecondsName(s.name)
+                   << " counter\n";
+                break;
+            }
+        }
+        switch (s.kind) {
+          case MetricKind::Counter:
+            os << s.name << labelBlock(s.labels) << ' '
+               << formatNumber(
+                      static_cast<double>(s.counter->value()))
+               << '\n';
+            break;
+          case MetricKind::Gauge:
+            os << s.name << labelBlock(s.labels) << ' '
+               << formatNumber(s.gauge->value()) << '\n';
+            break;
+          case MetricKind::Histogram: {
+            std::uint64_t cumulative = 0;
+            for (std::size_t i = 0; i < s.histogram->bucketCount();
+                 ++i) {
+                cumulative += s.histogram->bucketValue(i);
+                const double upper = s.histogram->upper(i);
+                const std::string le = std::isinf(upper)
+                                           ? std::string("+Inf")
+                                           : formatNumber(upper);
+                os << s.name << "_bucket"
+                   << labelBlock(s.labels, {{"le", le}}) << ' '
+                   << cumulative << '\n';
+            }
+            os << s.name << "_sum" << labelBlock(s.labels) << ' '
+               << formatNumber(s.histogram->sum()) << '\n';
+            os << s.name << "_count" << labelBlock(s.labels) << ' '
+               << s.histogram->count() << '\n';
+            break;
+          }
+          case MetricKind::Timer:
+            os << timerSecondsName(s.name) << labelBlock(s.labels)
+               << ' ' << formatNumber(s.timer->seconds()) << '\n';
+            os << s.name << "_laps_total" << labelBlock(s.labels)
+               << ' ' << s.timer->laps() << '\n';
+            break;
+        }
+    }
+}
+
+} // namespace pcap::obs

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Metric exporters: structured JSON (merged into BENCH_RESULTS.json
+ * under the "metrics" key, consumed by tools/metrics_diff.py) and
+ * Prometheus text exposition format (bench_all --metrics-out, ready
+ * for a node_exporter textfile collector or a pushgateway).
+ *
+ * Both exports render a deterministic snapshot — series sorted by
+ * (name, labels) — so two runs of the same deterministic simulation
+ * produce byte-identical documents regardless of thread scheduling.
+ */
+
+#ifndef PCAP_OBS_EXPORT_HPP
+#define PCAP_OBS_EXPORT_HPP
+
+#include <iosfwd>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace pcap::obs {
+
+/** Schema tag of the JSON metrics document. */
+inline constexpr char kMetricsSchema[] = "pcap-metrics-v1";
+
+/**
+ * The whole registry as a JSON document:
+ *
+ * {"schema":"pcap-metrics-v1","series":[
+ *   {"name":..,"type":"counter","labels":{..},"value":N},
+ *   {"name":..,"type":"histogram","labels":{..},
+ *    "count":N,"sum":S,"buckets":[{"le":..,"count":n},..]},
+ *   {"name":..,"type":"timer","labels":{..},
+ *    "seconds":S,"laps":N}, ...]}
+ */
+Json metricsToJson(const MetricsRegistry &registry);
+
+/**
+ * Prometheus text format. Histograms emit cumulative _bucket series
+ * plus _sum and _count; timers emit <name>_seconds_total and
+ * <name>_laps_total counters.
+ */
+void writePrometheus(const MetricsRegistry &registry,
+                     std::ostream &os);
+
+} // namespace pcap::obs
+
+#endif // PCAP_OBS_EXPORT_HPP

@@ -1,0 +1,98 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+
+namespace pcap::obs {
+
+Json
+RunManifest::toJson() const
+{
+    Json root = Json::object();
+    root["schema"] = kManifestSchema;
+    root["created_at_utc"] = createdAtUtc;
+    root["git_describe"] = gitDescribe;
+    root["command"] = command;
+
+    Json &config = root["config"];
+    config = Json::object();
+    config["seed"] = seed;
+    config["jobs"] = jobs;
+    config["max_executions"] = maxExecutions;
+
+    Json &cache = root["workload_cache"];
+    cache = Json::object();
+    cache["enabled"] = workloadCacheEnabled;
+    cache["directory"] = workloadCacheDir;
+
+    Json &keys = root["input_keys"];
+    keys = Json::object();
+    for (const auto &[app, key] : inputKeys)
+        keys[app] = key;
+
+    Json &phases = root["phase_ms"];
+    phases = Json::object();
+    for (const auto &[phase, ms] : phaseMs)
+        phases[phase] = ms;
+
+    Json &report_list = root["reports"];
+    report_list = Json::array();
+    for (const std::string &report : reports)
+        report_list.push(report);
+
+    Json &outputs = root["outputs"];
+    outputs = Json::object();
+    outputs["results"] = resultsPath;
+    outputs["prometheus"] = prometheusPath;
+    return root;
+}
+
+std::string
+isoTimestampUtc()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char buffer[32];
+    std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ",
+                  &utc);
+    return buffer;
+}
+
+std::string
+collectGitDescribe(const std::string &dir)
+{
+    // Best effort: a sandbox without git (or outside a work tree)
+    // yields "unknown", never a failed run.
+    const std::string command =
+        "git -C '" + dir + "' describe --always --dirty 2>/dev/null";
+    FILE *pipe = popen(command.c_str(), "r");
+    if (!pipe)
+        return "unknown";
+    char buffer[128];
+    std::string out;
+    while (std::fgets(buffer, sizeof(buffer), pipe))
+        out += buffer;
+    pclose(pipe);
+    while (!out.empty() &&
+           (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    return out.empty() ? "unknown" : out;
+}
+
+std::string
+writeManifest(const RunManifest &manifest, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        return "cannot open " + path + " for writing";
+    manifest.toJson().dump(os);
+    os << "\n";
+    os.flush();
+    if (!os)
+        return "write to " + path + " failed";
+    return "";
+}
+
+} // namespace pcap::obs

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Run manifest: the reproducibility record written alongside every
+ * bench run. Where BENCH_RESULTS.json says *what* numbers came out
+ * and the metrics dump says *how* the run behaved internally, the
+ * manifest says *which* experiment this was: configuration, seeds,
+ * content-addressed input-cache keys, the code version (git
+ * describe) and per-phase wall timings — everything needed to
+ * attribute a metrics diff to a code change rather than a config
+ * drift.
+ */
+
+#ifndef PCAP_OBS_MANIFEST_HPP
+#define PCAP_OBS_MANIFEST_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace pcap::obs {
+
+/** Schema tag of the manifest document. */
+inline constexpr char kManifestSchema[] = "pcap-run-manifest-v1";
+
+/** Everything a bench run records about itself. */
+struct RunManifest
+{
+    std::string createdAtUtc; ///< ISO 8601, see isoTimestampUtc()
+    std::string gitDescribe;  ///< see collectGitDescribe()
+    std::string command;      ///< argv, space-joined
+
+    std::uint64_t seed = 0;
+    unsigned jobs = 0;
+    int maxExecutions = 0;
+
+    bool workloadCacheEnabled = false;
+    std::string workloadCacheDir;
+
+    /** Content-addressed identity of each application's inputs:
+     * (app, cache file name embedding the recipe hash). */
+    std::vector<std::pair<std::string, std::string>> inputKeys;
+
+    /** Wall-clock milliseconds per named phase, in run order. */
+    std::vector<std::pair<std::string, double>> phaseMs;
+
+    /** Reports rendered by this run, in order. */
+    std::vector<std::string> reports;
+
+    std::string resultsPath;    ///< BENCH_RESULTS.json ("" if none)
+    std::string prometheusPath; ///< --metrics-out ("" if none)
+
+    /** The manifest as a JSON document (schema included). */
+    Json toJson() const;
+};
+
+/** Current wall-clock time as "YYYY-MM-DDTHH:MM:SSZ" (UTC). */
+std::string isoTimestampUtc();
+
+/**
+ * `git describe --always --dirty` of @p dir; "unknown" when git or
+ * the repository is unavailable. Best effort by design — a missing
+ * VCS must never fail a bench run.
+ */
+std::string collectGitDescribe(const std::string &dir);
+
+/**
+ * Serialize @p manifest to @p path. @return empty on success, else
+ * a problem description (the caller decides how loud to be).
+ */
+std::string writeManifest(const RunManifest &manifest,
+                          const std::string &path);
+
+} // namespace pcap::obs
+
+#endif // PCAP_OBS_MANIFEST_HPP

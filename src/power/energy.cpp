@@ -77,4 +77,34 @@ energyJ(double power_w, TimeUs duration)
     return power_w * usToSeconds(duration);
 }
 
+const char *
+energyCategorySlug(EnergyCategory category)
+{
+    switch (category) {
+      case EnergyCategory::BusyIo: return "busy_io";
+      case EnergyCategory::IdleShort: return "idle_short";
+      case EnergyCategory::IdleLong: return "idle_long";
+      case EnergyCategory::PowerCycle: return "power_cycle";
+    }
+    return "unknown";
+}
+
+void
+recordLedgerMetrics(const EnergyLedger &ledger,
+                    const obs::ScopedMetrics &scope)
+{
+    static constexpr EnergyCategory kCategories[] = {
+        EnergyCategory::BusyIo,
+        EnergyCategory::IdleShort,
+        EnergyCategory::IdleLong,
+        EnergyCategory::PowerCycle,
+    };
+    for (EnergyCategory category : kCategories) {
+        scope
+            .gauge("pcap_energy_joules",
+                   {{"category", energyCategorySlug(category)}})
+            .add(ledger.get(category));
+    }
+}
+
 } // namespace pcap::power

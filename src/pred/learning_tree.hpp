@@ -25,7 +25,7 @@
 #include <unordered_map>
 
 #include "pred/predictor.hpp"
-#include "util/counter.hpp"
+#include "obs/counter.hpp"
 
 namespace pcap::pred {
 

@@ -19,10 +19,13 @@ namespace {
  * original serial loop did: the per-execution RNGs are forked
  * sequentially from the app RNG, so results do not depend on how
  * many workers later expand the traces.
+ *
+ * @p scope receives the pcap_workload_generated_* counters (a
+ * disabled scope records nothing).
  */
 std::vector<ExecutionInput>
 generateInputs(const ExperimentConfig &config, const std::string &app,
-               unsigned jobs)
+               unsigned jobs, const obs::ScopedMetrics &scope)
 {
     const auto model = workload::makeApp(app);
     if (!model)
@@ -45,10 +48,45 @@ generateInputs(const ExperimentConfig &config, const std::string &app,
         [&](std::size_t i) {
             const trace::Trace trace =
                 model->generate(static_cast<int>(i), rngs[i]);
+            workload::recordTraceMetrics(trace, scope);
             result[i] =
                 ExecutionInput::fromTrace(trace, config.cache);
         });
     return result;
+}
+
+/** 16-hex-digit rendering of @p hash (trace-file and label style). */
+std::string
+hex16(std::uint64_t hash)
+{
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0') << hash;
+    return os.str();
+}
+
+/**
+ * Canonical serialization of every ExperimentConfig field that can
+ * alter simulation output — the basis of the "config" metric label,
+ * which keeps ablation evaluations (custom cache or disk parameters)
+ * from colliding with the paper-default one in a shared registry.
+ */
+std::string
+configCacheKey(const ExperimentConfig &config)
+{
+    const cache::CacheParams &c = config.cache;
+    const power::DiskParams &d = config.sim.disk;
+    std::ostringstream os;
+    os << "seed=" << config.seed
+       << "|maxExec=" << config.maxExecutions;
+    os << "|cache=" << c.capacityBytes << ',' << c.blockSize << ','
+       << c.flushInterval << ',' << c.flushCheckPeriod;
+    os << "|disk=" << d.busyPowerW << ',' << d.idlePowerW << ','
+       << d.standbyPowerW << ',' << d.spinUpEnergyJ << ','
+       << d.shutdownEnergyJ << ',' << d.spinUpTime << ','
+       << d.shutdownTime << ',' << d.breakevenTime << ','
+       << d.serviceTimePerBlock << ',' << d.lowPowerIdleW << ','
+       << d.lowPowerExitEnergyJ << ',' << d.lowPowerExitTime;
+    return os.str();
 }
 
 } // namespace
@@ -116,7 +154,8 @@ Evaluation::inputs(const std::string &app)
     auto it = inputs_.find(app);
     if (it != inputs_.end())
         return it->second;
-    return inputs_.emplace(app, generateInputs(config_, app, 1))
+    return inputs_
+        .emplace(app, generateInputs(config_, app, 1, {}))
         .first->second;
 }
 
@@ -208,7 +247,8 @@ ParallelEvaluation::ParallelEvaluation(ExperimentConfig config,
                                        ParallelOptions options)
     : config_(std::move(config)), options_(options),
       appNames_(workload::standardAppNames()),
-      cache_(options.cacheDir)
+      cache_(options.cacheDir),
+      configHash_(hex16(hashString(configCacheKey(config_))))
 {
     if (options_.jobs == 0)
         options_.jobs = ThreadPool::hardwareJobs();
@@ -225,13 +265,77 @@ ParallelEvaluation::traceObserver(const char *mode,
         return nullptr;
     std::string name = std::string(mode) + "-" + app;
     if (policy) {
-        std::ostringstream hash;
-        hash << std::hex << std::setw(16) << std::setfill('0')
-             << hashString(policyCacheKey(*policy));
-        name += "-" + policy->label + "-" + hash.str();
+        name += "-" + policy->label + "-" +
+                hex16(hashString(policyCacheKey(*policy)));
     }
     return std::make_unique<JsonlTraceObserver>(
         options_.traceDir + "/" + name + ".jsonl");
+}
+
+obs::ScopedMetrics
+ParallelEvaluation::cellScope(const char *mode,
+                              const std::string &app,
+                              const PolicyConfig *policy) const
+{
+    if (!options_.metrics)
+        return {};
+    obs::Labels labels = {{"config", configHash_},
+                          {"mode", mode},
+                          {"app", app}};
+    if (policy) {
+        labels.emplace_back("policy", policy->label);
+        labels.emplace_back(
+            "policy_hash",
+            hex16(hashString(policyCacheKey(*policy))));
+    }
+    return obs::ScopedMetrics(options_.metrics, std::move(labels));
+}
+
+obs::ScopedMetrics
+ParallelEvaluation::appScope(const std::string &app) const
+{
+    if (!options_.metrics)
+        return {};
+    return obs::ScopedMetrics(
+        options_.metrics, {{"config", configHash_}, {"app", app}});
+}
+
+/** One cell's observer stack; observer is what the kernel sees. */
+struct ParallelEvaluation::CellInstruments
+{
+    obs::ScopedMetrics scope;
+    std::unique_ptr<SimObserver> trace;
+    std::unique_ptr<MetricsObserver> metrics;
+    std::unique_ptr<TeeObserver> tee;
+    SimObserver *observer = nullptr;
+};
+
+ParallelEvaluation::CellInstruments
+ParallelEvaluation::instrument(const char *mode,
+                               const std::string &app,
+                               const PolicyConfig *policy,
+                               bool trackDisk) const
+{
+    CellInstruments inst;
+    inst.scope = cellScope(mode, app, policy);
+    inst.trace = traceObserver(mode, app, policy);
+    if (options_.metrics) {
+        inst.metrics = std::make_unique<MetricsObserver>(
+            inst.scope, config_.sim.breakeven(), trackDisk);
+    }
+    if (inst.trace && inst.metrics) {
+        inst.tee = std::make_unique<TeeObserver>(
+            std::vector<SimObserver *>{inst.trace.get(),
+                                       inst.metrics.get()});
+        inst.observer = inst.tee.get();
+    } else if (inst.trace) {
+        inst.observer = inst.trace.get();
+    } else if (inst.metrics) {
+        inst.observer = inst.metrics.get();
+    } else {
+        inst.observer = &nullObserver();
+    }
+    return inst;
 }
 
 template <typename T>
@@ -252,12 +356,39 @@ ParallelEvaluation::inputs(const std::string &app)
 {
     auto memo = slot(inputs_, app);
     std::call_once(memo->once, [&] {
+        const obs::ScopedMetrics scope = appScope(app);
         const WorkloadKey key = config_.workloadKey(app);
-        if (cache_.load(key, memo->value))
-            return;
-        memo->value = generateInputs(config_, app, options_.jobs);
-        ++generated_;
-        cache_.store(key, memo->value);
+        const bool loaded = cache_.load(key, memo->value);
+        scope
+            .counter("pcap_workload_cache_loads_total",
+                     {{"result", loaded ? "hit" : "miss"}})
+            .inc();
+        if (!loaded) {
+            memo->value =
+                generateInputs(config_, app, options_.jobs, scope);
+            ++generated_;
+            cache_.store(key, memo->value);
+        }
+
+        // Input-level metrics: identical whether the inputs were
+        // generated or deserialized, because the cache statistics
+        // travel inside the cached file.
+        cache::CacheStats stats;
+        std::uint64_t accesses = 0, tracedIos = 0, spanUs = 0;
+        for (const ExecutionInput &input : memo->value) {
+            stats.merge(input.cacheStats);
+            accesses += input.accesses.size();
+            tracedIos += input.tracedIos;
+            spanUs += static_cast<std::uint64_t>(input.endTime);
+        }
+        cache::recordCacheMetrics(stats, scope);
+        scope.gauge("pcap_sim_input_executions")
+            .set(static_cast<double>(memo->value.size()));
+        scope.counter("pcap_sim_input_disk_accesses_total")
+            .inc(accesses);
+        scope.counter("pcap_sim_input_traced_ios_total")
+            .inc(tracedIos);
+        scope.counter("pcap_sim_input_span_us_total").inc(spanUs);
     });
     return memo->value;
 }
@@ -286,12 +417,16 @@ ParallelEvaluation::localAccuracy(const std::string &app,
     auto memo =
         slot(locals_, app + "\x1f" + policyCacheKey(policy));
     std::call_once(memo->once, [&] {
-        auto observer = traceObserver("local", app, &policy);
+        auto inst =
+            instrument("local", app, &policy, /*trackDisk=*/false);
         PolicySession session(policy);
         LocalDriver driver(session);
-        SimulationKernel kernel(
-            config_.sim, observer ? *observer : nullObserver());
+        SimulationKernel kernel(config_.sim, *inst.observer);
+        auto lap =
+            inst.scope.timer("pcap_cell_wall_seconds").measure();
         memo->value = kernel.run(inputs(app), driver).accuracy;
+        inst.scope.gauge("pcap_predictor_table_entries")
+            .set(static_cast<double>(session.tableEntries()));
     });
     return memo->value;
 }
@@ -303,13 +438,17 @@ ParallelEvaluation::globalRun(const std::string &app,
     auto memo =
         slot(globals_, "g\x1f" + app + "\x1f" + policyCacheKey(policy));
     std::call_once(memo->once, [&] {
-        auto observer = traceObserver("global", app, &policy);
+        auto inst =
+            instrument("global", app, &policy, /*trackDisk=*/true);
         PolicySession session(policy);
         GlobalDriver driver(session);
-        SimulationKernel kernel(
-            config_.sim, observer ? *observer : nullObserver());
+        SimulationKernel kernel(config_.sim, *inst.observer);
+        auto lap =
+            inst.scope.timer("pcap_cell_wall_seconds").measure();
         memo->value.run = kernel.run(inputs(app), driver);
         memo->value.tableEntries = session.tableEntries();
+        inst.scope.gauge("pcap_predictor_table_entries")
+            .set(static_cast<double>(memo->value.tableEntries));
     });
     return memo->value;
 }
@@ -321,13 +460,17 @@ ParallelEvaluation::multiStateRun(const std::string &app,
     auto memo =
         slot(globals_, "m\x1f" + app + "\x1f" + policyCacheKey(policy));
     std::call_once(memo->once, [&] {
-        auto observer = traceObserver("multistate", app, &policy);
+        auto inst = instrument("multistate", app, &policy,
+                               /*trackDisk=*/true);
         PolicySession session(policy);
         GlobalDriver driver(session, {.multiState = true});
-        SimulationKernel kernel(
-            config_.sim, observer ? *observer : nullObserver());
+        SimulationKernel kernel(config_.sim, *inst.observer);
+        auto lap =
+            inst.scope.timer("pcap_cell_wall_seconds").measure();
         memo->value.run = kernel.run(inputs(app), driver);
         memo->value.tableEntries = session.tableEntries();
+        inst.scope.gauge("pcap_predictor_table_entries")
+            .set(static_cast<double>(memo->value.tableEntries));
     });
     return memo->value;
 }
@@ -337,10 +480,12 @@ ParallelEvaluation::baseRun(const std::string &app)
 {
     auto memo = slot(runs_, "base\x1f" + app);
     std::call_once(memo->once, [&] {
-        auto observer = traceObserver("base", app, nullptr);
+        auto inst =
+            instrument("base", app, nullptr, /*trackDisk=*/true);
         BaseDriver driver;
-        SimulationKernel kernel(
-            config_.sim, observer ? *observer : nullObserver());
+        SimulationKernel kernel(config_.sim, *inst.observer);
+        auto lap =
+            inst.scope.timer("pcap_cell_wall_seconds").measure();
         memo->value = kernel.run(inputs(app), driver);
     });
     return memo->value;
@@ -351,10 +496,12 @@ ParallelEvaluation::idealRun(const std::string &app)
 {
     auto memo = slot(runs_, "ideal\x1f" + app);
     std::call_once(memo->once, [&] {
-        auto observer = traceObserver("ideal", app, nullptr);
+        auto inst =
+            instrument("ideal", app, nullptr, /*trackDisk=*/true);
         OracleDriver driver;
-        SimulationKernel kernel(
-            config_.sim, observer ? *observer : nullObserver());
+        SimulationKernel kernel(config_.sim, *inst.observer);
+        auto lap =
+            inst.scope.timer("pcap_cell_wall_seconds").measure();
         memo->value = kernel.run(inputs(app), driver);
     });
     return memo->value;

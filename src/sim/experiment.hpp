@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/input.hpp"
 #include "sim/input_cache.hpp"
 #include "sim/policy.hpp"
@@ -204,6 +205,15 @@ struct ParallelOptions
      * per (mode, app, policy) cell. Empty disables tracing.
      */
     std::string traceDir;
+
+    /**
+     * Registry every layer records into, or null to disable
+     * instrumentation. Each cell writes through a ScopedMetrics
+     * labelled {config, mode, app, policy, policy_hash}, so parallel
+     * cells touch disjoint series; the registry must outlive the
+     * evaluation.
+     */
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /**
@@ -291,10 +301,37 @@ class ParallelEvaluation : public EvaluationApi
     traceObserver(const char *mode, const std::string &app,
                   const PolicyConfig *policy) const;
 
+    /** The tracing + metrics observers of one cell, assembled. */
+    struct CellInstruments;
+
+    /**
+     * Build one cell's observer stack: the JSONL tracer (when
+     * tracing is on), a MetricsObserver (when a registry is
+     * attached), both behind a tee, or the shared NullObserver.
+     * @p trackDisk is false for diskless (local-accuracy) replays.
+     */
+    CellInstruments instrument(const char *mode,
+                               const std::string &app,
+                               const PolicyConfig *policy,
+                               bool trackDisk) const;
+
+    /** Scope labelled {config, mode, app[, policy, policy_hash]};
+     * disabled when no registry is attached. */
+    obs::ScopedMetrics cellScope(const char *mode,
+                                 const std::string &app,
+                                 const PolicyConfig *policy) const;
+
+    /** Scope labelled {config, app} for input-level metrics. */
+    obs::ScopedMetrics appScope(const std::string &app) const;
+
     ExperimentConfig config_;
     ParallelOptions options_;
     std::vector<std::string> appNames_;
     WorkloadCache cache_;
+    /** 16-hex digest of every config field that can alter results —
+     * the "config" label value separating ablation evaluations from
+     * the paper-default one in the shared registry. */
+    std::string configHash_;
 
     std::mutex mutex_; ///< guards the maps below (not the memos)
     std::map<std::string,

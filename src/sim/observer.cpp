@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/input.hpp"
+#include "sim/kernel.hpp"
 #include "util/logging.hpp"
 
 namespace pcap::sim {
@@ -33,7 +34,7 @@ nullObserver()
 // ---------------------------------------------------------------
 
 JsonlTraceObserver::JsonlTraceObserver(const std::string &path)
-    : os_(path)
+    : os_(path), path_(path)
 {
     if (!os_)
         fatal("JsonlTraceObserver: cannot write " + path);
@@ -44,6 +45,22 @@ JsonlTraceObserver::onExecutionBegin(const ExecutionInput &input)
 {
     app_ = input.app;
     execution_ = input.execution;
+}
+
+void
+JsonlTraceObserver::onExecutionEnd(const ExecutionInput &input,
+                                   const RunResult &result)
+{
+    (void)input;
+    (void)result;
+    // Push buffered records to the OS now so a full disk or revoked
+    // permission surfaces here, attributed to the file — not as a
+    // silently truncated trace discovered days later.
+    os_.flush();
+    if (!os_) {
+        fatal("JsonlTraceObserver: write failed on " + path_ +
+              " after " + std::to_string(records_) + " records");
+    }
 }
 
 void
@@ -61,7 +78,245 @@ JsonlTraceObserver::onIdlePeriod(const IdlePeriodRecord &record)
         << ",\"source\":\"" << pred::decisionSourceName(record.source)
         << "\",\"outcome\":\"" << idleOutcomeName(record.outcome)
         << "\"}\n";
+    if (!os_) {
+        fatal("JsonlTraceObserver: write failed on " + path_ +
+              " after " + std::to_string(records_) + " records");
+    }
     ++records_;
+}
+
+// ---------------------------------------------------------------
+// TeeObserver
+// ---------------------------------------------------------------
+
+TeeObserver::TeeObserver(std::vector<SimObserver *> observers)
+    : observers_(std::move(observers))
+{
+    for (SimObserver *observer : observers_) {
+        if (!observer)
+            panic("TeeObserver: null observer");
+    }
+}
+
+void
+TeeObserver::onExecutionBegin(const ExecutionInput &input)
+{
+    for (SimObserver *observer : observers_)
+        observer->onExecutionBegin(input);
+}
+
+void
+TeeObserver::onExecutionEnd(const ExecutionInput &input,
+                            const RunResult &result)
+{
+    for (SimObserver *observer : observers_)
+        observer->onExecutionEnd(input, result);
+}
+
+void
+TeeObserver::onIdlePeriod(const IdlePeriodRecord &record)
+{
+    for (SimObserver *observer : observers_)
+        observer->onIdlePeriod(record);
+}
+
+void
+TeeObserver::onShutdownIssued(TimeUs at)
+{
+    for (SimObserver *observer : observers_)
+        observer->onShutdownIssued(at);
+}
+
+void
+TeeObserver::onShutdownIgnored(TimeUs at)
+{
+    for (SimObserver *observer : observers_)
+        observer->onShutdownIgnored(at);
+}
+
+void
+TeeObserver::onDiskStateChange(TimeUs time, power::DiskState from,
+                               power::DiskState to)
+{
+    for (SimObserver *observer : observers_)
+        observer->onDiskStateChange(time, from, to);
+}
+
+void
+TeeObserver::onSpinUpServed(TimeUs time, TimeUs delay)
+{
+    for (SimObserver *observer : observers_)
+        observer->onSpinUpServed(time, delay);
+}
+
+// ---------------------------------------------------------------
+// MetricsObserver
+// ---------------------------------------------------------------
+
+namespace {
+
+/**
+ * Idle-length bucket bounds in simulated µs, matching
+ * IdleHistogramObserver::defaultBoundaries. Sorted and deduplicated
+ * because an ablated breakeven may coincide with (or cross) the
+ * fixed decades.
+ */
+std::vector<double>
+idleLengthUppers(TimeUs breakeven)
+{
+    std::vector<double> uppers;
+    for (TimeUs upper : IdleHistogramObserver::defaultBoundaries(
+             breakeven))
+        uppers.push_back(static_cast<double>(upper));
+    std::sort(uppers.begin(), uppers.end());
+    uppers.erase(std::unique(uppers.begin(), uppers.end()),
+                 uppers.end());
+    return uppers;
+}
+
+} // namespace
+
+MetricsObserver::MetricsObserver(obs::ScopedMetrics scope,
+                                 TimeUs breakeven, bool trackDisk)
+    : scope_(std::move(scope)), trackDisk_(trackDisk),
+      executions_(scope_.counter("pcap_sim_executions_total")),
+      idleLength_(scope_.histogram("pcap_sim_idle_period_us",
+                                   idleLengthUppers(breakeven))),
+      shutdownsIssued_(scope_.counter(
+          "pcap_sim_shutdown_orders_total", {{"status", "issued"}})),
+      shutdownsIgnored_(scope_.counter(
+          "pcap_sim_shutdown_orders_total", {{"status", "ignored"}})),
+      spinUps_(scope_.counter("pcap_disk_spin_ups_total")),
+      spinUpDelayUs_(
+          scope_.counter("pcap_disk_spin_up_delay_us_total")),
+      stateTransitions_(
+          scope_.counter("pcap_disk_state_transitions_total")),
+      uppers_(idleLengthUppers(breakeven)),
+      localBuckets_(uppers_.size() + 1, 0)
+{
+    for (std::size_t i = 0; i < idlePeriods_.size(); ++i) {
+        idlePeriods_[i] = &scope_.counter(
+            "pcap_sim_idle_periods_total",
+            {{"outcome",
+              idleOutcomeName(static_cast<IdleOutcome>(i))}});
+    }
+    static constexpr power::DiskState kStates[] = {
+        power::DiskState::Active,
+        power::DiskState::Idle,
+        power::DiskState::LowPower,
+        power::DiskState::Standby,
+    };
+    for (std::size_t i = 0; i < stateUs_.size(); ++i) {
+        stateUs_[i] = &scope_.counter(
+            "pcap_disk_state_us_total",
+            {{"state", power::diskStateName(kStates[i])}});
+    }
+}
+
+void
+MetricsObserver::flush()
+{
+    for (std::size_t i = 0; i < localOutcomes_.size(); ++i) {
+        if (localOutcomes_[i]) {
+            idlePeriods_[i]->inc(localOutcomes_[i]);
+            localOutcomes_[i] = 0;
+        }
+    }
+    if (localIdleCount_) {
+        idleLength_.merge(localBuckets_, localIdleCount_,
+                          localIdleSum_);
+        std::fill(localBuckets_.begin(), localBuckets_.end(), 0);
+        localIdleCount_ = 0;
+        localIdleSum_ = 0.0;
+    }
+    shutdownsIssued_.inc(localIssued_);
+    shutdownsIgnored_.inc(localIgnored_);
+    spinUps_.inc(localSpinUps_);
+    spinUpDelayUs_.inc(localSpinUpDelay_);
+    stateTransitions_.inc(localTransitions_);
+    localIssued_ = localIgnored_ = 0;
+    localSpinUps_ = localSpinUpDelay_ = localTransitions_ = 0;
+    for (std::size_t i = 0; i < localStateUs_.size(); ++i) {
+        if (localStateUs_[i]) {
+            stateUs_[i]->inc(localStateUs_[i]);
+            localStateUs_[i] = 0;
+        }
+    }
+}
+
+void
+MetricsObserver::onExecutionBegin(const ExecutionInput &input)
+{
+    (void)input;
+    executions_.inc();
+    // A fresh PowerManagedDisk starts Idle at time zero.
+    lastState_ = power::DiskState::Idle;
+    lastChange_ = 0;
+}
+
+void
+MetricsObserver::onExecutionEnd(const ExecutionInput &input,
+                                const RunResult &result)
+{
+    if (trackDisk_ && input.endTime > lastChange_) {
+        // No transition fires at finish; close the residency of the
+        // final state by hand.
+        localStateUs_[static_cast<std::size_t>(lastState_)] +=
+            static_cast<std::uint64_t>(input.endTime - lastChange_);
+    }
+    flush();
+    power::recordLedgerMetrics(result.energy, scope_);
+}
+
+void
+MetricsObserver::onIdlePeriod(const IdlePeriodRecord &record)
+{
+    ++localOutcomes_[static_cast<std::size_t>(record.outcome)];
+    const double length = static_cast<double>(record.length());
+    std::size_t index = 0;
+    while (index < uppers_.size() && length > uppers_[index])
+        ++index;
+    ++localBuckets_[index];
+    ++localIdleCount_;
+    localIdleSum_ += length;
+}
+
+void
+MetricsObserver::onShutdownIssued(TimeUs at)
+{
+    (void)at;
+    ++localIssued_;
+}
+
+void
+MetricsObserver::onShutdownIgnored(TimeUs at)
+{
+    (void)at;
+    ++localIgnored_;
+}
+
+void
+MetricsObserver::onDiskStateChange(TimeUs time, power::DiskState from,
+                                   power::DiskState to)
+{
+    (void)from;
+    if (!trackDisk_)
+        return;
+    ++localTransitions_;
+    if (time > lastChange_) {
+        localStateUs_[static_cast<std::size_t>(lastState_)] +=
+            static_cast<std::uint64_t>(time - lastChange_);
+    }
+    lastState_ = to;
+    lastChange_ = time;
+}
+
+void
+MetricsObserver::onSpinUpServed(TimeUs time, TimeUs delay)
+{
+    (void)time;
+    ++localSpinUps_;
+    localSpinUpDelay_ += static_cast<std::uint64_t>(delay);
 }
 
 // ---------------------------------------------------------------

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "power/disk.hpp"
 #include "pred/predictor.hpp"
 #include "util/types.hpp"
@@ -122,6 +123,8 @@ class JsonlTraceObserver final : public SimObserver
     explicit JsonlTraceObserver(const std::string &path);
 
     void onExecutionBegin(const ExecutionInput &input) override;
+    void onExecutionEnd(const ExecutionInput &input,
+                        const RunResult &result) override;
     void onIdlePeriod(const IdlePeriodRecord &record) override;
 
     /** Idle-period records written so far. */
@@ -129,9 +132,107 @@ class JsonlTraceObserver final : public SimObserver
 
   private:
     std::ofstream os_;
+    std::string path_;
     std::string app_;
     int execution_ = -1;
     std::uint64_t records_ = 0;
+};
+
+/**
+ * Fans every callback out to a list of observers, in order — e.g. a
+ * JSONL tracer plus a metrics collector on the same run. Null
+ * entries are rejected; the observers must outlive the tee.
+ */
+class TeeObserver final : public SimObserver
+{
+  public:
+    explicit TeeObserver(std::vector<SimObserver *> observers);
+
+    void onExecutionBegin(const ExecutionInput &input) override;
+    void onExecutionEnd(const ExecutionInput &input,
+                        const RunResult &result) override;
+    void onIdlePeriod(const IdlePeriodRecord &record) override;
+    void onShutdownIssued(TimeUs at) override;
+    void onShutdownIgnored(TimeUs at) override;
+    void onDiskStateChange(TimeUs time, power::DiskState from,
+                           power::DiskState to) override;
+    void onSpinUpServed(TimeUs time, TimeUs delay) override;
+
+  private:
+    std::vector<SimObserver *> observers_;
+};
+
+/**
+ * Streams every replay-level event into ScopedMetrics series — the
+ * kernel- and disk-layer instrumentation of the metrics subsystem.
+ *
+ * All recorded quantities are functions of the simulation alone
+ * (simulated microseconds, event counts, joules), so a run's series
+ * are byte-identical across machines, thread counts and workload
+ * cache states. Metric handles are resolved once here in the
+ * constructor, and per-event tallies accumulate in plain local
+ * fields — an execution replays on one thread — flushed into the
+ * shared atomics once per execution. A classified idle period costs
+ * a bucket scan plus a few integer adds, not an atomic RMW.
+ */
+class MetricsObserver final : public SimObserver
+{
+  public:
+    /**
+     * @param scope     Cell-scoped handle (labels identify the run).
+     * @param breakeven Histogram boundary anchor; the idle-length
+     *                  buckets match IdleHistogramObserver's.
+     * @param trackDisk False for diskless replays (local accuracy),
+     *                  whose executions would otherwise read as one
+     *                  long Idle residency.
+     */
+    MetricsObserver(obs::ScopedMetrics scope, TimeUs breakeven,
+                    bool trackDisk = true);
+
+    void onExecutionBegin(const ExecutionInput &input) override;
+    void onExecutionEnd(const ExecutionInput &input,
+                        const RunResult &result) override;
+    void onIdlePeriod(const IdlePeriodRecord &record) override;
+    void onShutdownIssued(TimeUs at) override;
+    void onShutdownIgnored(TimeUs at) override;
+    void onDiskStateChange(TimeUs time, power::DiskState from,
+                           power::DiskState to) override;
+    void onSpinUpServed(TimeUs time, TimeUs delay) override;
+
+  private:
+    /** Push the execution-local tallies into the shared series and
+     * zero them. */
+    void flush();
+
+    obs::ScopedMetrics scope_;
+    bool trackDisk_;
+
+    obs::Counter &executions_;
+    std::array<obs::Counter *, 6> idlePeriods_;
+    obs::Histogram &idleLength_;
+    obs::Counter &shutdownsIssued_;
+    obs::Counter &shutdownsIgnored_;
+    obs::Counter &spinUps_;
+    obs::Counter &spinUpDelayUs_;
+    std::array<obs::Counter *, 4> stateUs_;
+    obs::Counter &stateTransitions_;
+
+    // Execution-local tallies (the replay of one execution is
+    // single-threaded; see flush()).
+    std::vector<double> uppers_; ///< idle-length bucket bounds
+    std::vector<std::uint64_t> localBuckets_;
+    std::uint64_t localIdleCount_ = 0;
+    double localIdleSum_ = 0.0;
+    std::array<std::uint64_t, 6> localOutcomes_{};
+    std::uint64_t localIssued_ = 0;
+    std::uint64_t localIgnored_ = 0;
+    std::uint64_t localSpinUps_ = 0;
+    std::uint64_t localSpinUpDelay_ = 0;
+    std::uint64_t localTransitions_ = 0;
+    std::array<std::uint64_t, 4> localStateUs_{};
+
+    power::DiskState lastState_ = power::DiskState::Idle;
+    TimeUs lastChange_ = 0;
 };
 
 /**

@@ -1,6 +1,64 @@
 #include "util/logging.hpp"
 
+#include <atomic>
+
 namespace pcap {
+
+namespace {
+
+std::atomic<int> gLogLevel{static_cast<int>(LogLevel::Info)};
+
+bool
+enabled(LogLevel severity)
+{
+    return static_cast<int>(severity) >=
+           gLogLevel.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLogLevel.store(static_cast<int>(level),
+                    std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        gLogLevel.load(std::memory_order_relaxed));
+}
+
+std::optional<LogLevel>
+logLevelFromName(const std::string &name)
+{
+    if (name == "debug")
+        return LogLevel::Debug;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "error")
+        return LogLevel::Error;
+    if (name == "silent")
+        return LogLevel::Silent;
+    return std::nullopt;
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::Silent: return "silent";
+    }
+    return "unknown";
+}
 
 namespace detail {
 
@@ -28,15 +86,31 @@ fatal(const std::string &message)
 }
 
 void
+error(const std::string &message)
+{
+    if (enabled(LogLevel::Error))
+        detail::logMessage("error", message);
+}
+
+void
 warn(const std::string &message)
 {
-    detail::logMessage("warn", message);
+    if (enabled(LogLevel::Warn))
+        detail::logMessage("warn", message);
 }
 
 void
 inform(const std::string &message)
 {
-    detail::logMessage("info", message);
+    if (enabled(LogLevel::Info))
+        detail::logMessage("info", message);
+}
+
+void
+debug(const std::string &message)
+{
+    if (enabled(LogLevel::Debug))
+        detail::logMessage("debug", message);
 }
 
 } // namespace pcap

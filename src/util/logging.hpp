@@ -2,8 +2,14 @@
  * @file
  * Error and status reporting helpers, following the gem5 convention:
  * panic() for internal invariant violations (a bug in this library),
- * fatal() for unrecoverable user/configuration errors, warn() and
- * inform() for non-fatal status messages.
+ * fatal() for unrecoverable user/configuration errors, error(),
+ * warn(), inform() and debug() for non-fatal messages of descending
+ * severity.
+ *
+ * Messages below the process-wide log level (default Info) are
+ * suppressed; bench_all exposes it as --log-level. panic() and
+ * fatal() always print — suppressing the reason a process died is
+ * never useful.
  */
 
 #ifndef PCAP_UTIL_LOGGING_HPP
@@ -11,9 +17,32 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 namespace pcap {
+
+/** Severity threshold of the non-fatal logging helpers. */
+enum class LogLevel {
+    Debug = 0, ///< everything, including debug()
+    Info = 1,  ///< inform() and louder (the default)
+    Warn = 2,  ///< warn() and error() only
+    Error = 3, ///< error() only
+    Silent = 4 ///< nothing below panic()/fatal()
+};
+
+/** Set the process-wide log level (thread-safe). */
+void setLogLevel(LogLevel level);
+
+/** The current process-wide log level. */
+LogLevel logLevel();
+
+/** Parse "debug"/"info"/"warn"/"error"/"silent"; nullopt when the
+ * name is unknown. */
+std::optional<LogLevel> logLevelFromName(const std::string &name);
+
+/** Stable lower-case name of @p level ("debug", ...). */
+const char *logLevelName(LogLevel level);
 
 namespace detail {
 
@@ -27,7 +56,7 @@ void logMessage(const char *tag, const std::string &message);
  *
  * Call when something happened that must never happen regardless of
  * user input — i.e. a bug in this library. Aborts so a debugger or
- * core dump can capture the state.
+ * core dump can capture the state. Never suppressed.
  */
 [[noreturn]] void panic(const std::string &message);
 
@@ -35,15 +64,23 @@ void logMessage(const char *tag, const std::string &message);
  * Report an unrecoverable user-facing error and exit(1).
  *
  * Call for bad configuration or invalid arguments — conditions that
- * are the caller's fault rather than a library bug.
+ * are the caller's fault rather than a library bug. Never
+ * suppressed.
  */
 [[noreturn]] void fatal(const std::string &message);
+
+/** Report a non-fatal error the caller will recover from or turn
+ * into an exit code (CLI diagnostics). */
+void error(const std::string &message);
 
 /** Warn about a suspicious but survivable condition. */
 void warn(const std::string &message);
 
 /** Print an informational status message. */
 void inform(const std::string &message);
+
+/** Verbose diagnostics, hidden unless the level is Debug. */
+void debug(const std::string &message);
 
 } // namespace pcap
 

@@ -1,9 +1,57 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 namespace pcap {
+
+namespace {
+
+// Process-global so the numbers survive the short-lived pools that
+// parallelFor() spins up and tears down.
+std::atomic<std::uint64_t> gTasksSubmitted{0};
+std::atomic<std::uint64_t> gTasksExecuted{0};
+std::atomic<std::uint64_t> gTaskNanos{0};
+std::atomic<std::uint64_t> gPeakQueueDepth{0};
+
+void
+notePeakDepth(std::uint64_t depth)
+{
+    std::uint64_t seen = gPeakQueueDepth.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !gPeakQueueDepth.compare_exchange_weak(
+               seen, depth, std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+ThreadPool::GlobalStats
+ThreadPool::globalStats()
+{
+    GlobalStats stats;
+    stats.tasksSubmitted = gTasksSubmitted.load(std::memory_order_relaxed);
+    stats.tasksExecuted = gTasksExecuted.load(std::memory_order_relaxed);
+    stats.taskNanos = gTaskNanos.load(std::memory_order_relaxed);
+    stats.peakQueueDepth =
+        gPeakQueueDepth.load(std::memory_order_relaxed);
+    return stats;
+}
+
+void
+ThreadPool::runCounted(const std::function<void()> &task)
+{
+    const auto start = std::chrono::steady_clock::now();
+    task();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    gTaskNanos.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()),
+        std::memory_order_relaxed);
+    gTasksExecuted.fetch_add(1, std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(unsigned jobs)
 {
@@ -34,10 +82,11 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> task)
 {
+    gTasksSubmitted.fetch_add(1, std::memory_order_relaxed);
     if (workers_.empty()) {
         // Inline pool: run right here, mirroring worker semantics.
         try {
-            task();
+            runCounted(task);
         } catch (...) {
             recordException(std::current_exception());
         }
@@ -47,6 +96,7 @@ ThreadPool::submit(std::function<void()> task)
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(std::move(task));
         ++inFlight_;
+        notePeakDepth(queue_.size());
     }
     wake_.notify_one();
 }
@@ -109,7 +159,7 @@ ThreadPool::workerLoop()
             queue_.pop_front();
         }
         try {
-            task();
+            runCounted(task);
         } catch (...) {
             recordException(std::current_exception());
         }

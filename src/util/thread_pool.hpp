@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -38,6 +39,23 @@ namespace pcap {
 class ThreadPool
 {
   public:
+    /**
+     * Process-wide task accounting, aggregated over every pool that
+     * ever ran (pools are transient — parallelFor() creates and
+     * destroys one per call — so per-pool counters would vanish with
+     * the pool). Exported by bench_all as pcap_thread_pool_* wall
+     * metrics.
+     */
+    struct GlobalStats {
+        std::uint64_t tasksSubmitted = 0; ///< submit() calls
+        std::uint64_t tasksExecuted = 0;  ///< tasks run to completion
+        std::uint64_t taskNanos = 0;      ///< summed task wall time
+        std::uint64_t peakQueueDepth = 0; ///< max queued-task backlog
+    };
+
+    /** Snapshot of the process-wide task counters. */
+    static GlobalStats globalStats();
+
     /**
      * @param jobs Number of worker threads; 0 and 1 both mean "run
      *        everything inline on the calling thread".
@@ -81,6 +99,7 @@ class ThreadPool
   private:
     void workerLoop();
     void recordException(std::exception_ptr error);
+    static void runCounted(const std::function<void()> &task);
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;

@@ -38,4 +38,20 @@ standardAppNames()
             "mplayer"};
 }
 
+void
+recordTraceMetrics(const trace::Trace &trace,
+                   const obs::ScopedMetrics &scope)
+{
+    scope.counter("pcap_workload_generated_traces_total").inc();
+    scope.counter("pcap_workload_generated_span_us_total")
+        .inc(static_cast<std::uint64_t>(trace.endTime() -
+                                        trace.startTime()));
+    for (const trace::TraceEvent &event : trace.events()) {
+        scope
+            .counter("pcap_workload_generated_events_total",
+                     {{"type", trace::eventTypeName(event.type)}})
+            .inc();
+    }
+}
+
 } // namespace pcap::workload

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 
@@ -55,6 +56,16 @@ std::vector<std::unique_ptr<AppModel>> makeStandardApps();
 
 /** The six application names, in Table 1 order. */
 std::vector<std::string> standardAppNames();
+
+/**
+ * Add one freshly generated trace to @p scope's
+ * pcap_workload_generated_* counters (events by type, traced span).
+ * Only generation records these — cache-loaded inputs skip the
+ * generator entirely — so they are excluded from metric diffs by
+ * default.
+ */
+void recordTraceMetrics(const trace::Trace &trace,
+                        const obs::ScopedMetrics &scope);
 
 } // namespace pcap::workload
 

@@ -10,7 +10,7 @@
 #include <set>
 #include <sstream>
 
-#include "util/counter.hpp"
+#include "obs/counter.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

@@ -3,11 +3,17 @@
 
 Usage: compare_bench.py REFERENCE CANDIDATE [--tolerance REL]
 
-Report lines are compared token by token: numeric tokens must agree
-within a relative tolerance (default 1e-9, i.e. effectively exact —
-the engine is deterministic), everything else must match exactly.
-Timings, job counts and cache-effectiveness counters are machine- and
-run-dependent, so they are ignored.
+By default report lines must match byte for byte -- the engine is
+deterministic, so every figure number is expected to be identical.
+Passing --tolerance switches to token-by-token comparison where
+numeric tokens may differ within the given relative tolerance
+(for cross-platform floating-point noise).
+
+Timings, job counts, cache-effectiveness counters and the metrics
+block are machine- and run-dependent, so they are ignored here (use
+tools/metrics_diff.py to compare metrics); however, the candidate is
+required to *carry* a metrics block unless --allow-missing-metrics
+is given, so an instrumentation regression cannot slip through.
 """
 
 import argparse
@@ -15,7 +21,7 @@ import json
 import re
 import sys
 
-IGNORED_TOP_KEYS = {"jobs", "timings_ms", "workload_cache"}
+IGNORED_TOP_KEYS = {"jobs", "timings_ms", "workload_cache", "metrics"}
 NUMBER = re.compile(r"^[+-]?\d+(\.\d+)?([eE][+-]?\d+)?%?$")
 
 
@@ -24,6 +30,11 @@ def tokens(line):
 
 
 def compare_lines(name, index, ref, got, tolerance, errors):
+    if tolerance is None:
+        if ref != got:
+            errors.append(f"{name} line {index + 1} differs\n"
+                          f"  ref: {ref}\n  got: {got}")
+        return
     ref_tokens = tokens(ref)
     got_tokens = tokens(got)
     if len(ref_tokens) != len(got_tokens):
@@ -45,12 +56,31 @@ def compare_lines(name, index, ref, got, tolerance, errors):
         return
 
 
+def check_metrics(got, errors):
+    metrics = got.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("candidate has no 'metrics' block "
+                      "(run without --no-metrics, or pass "
+                      "--allow-missing-metrics)")
+        return
+    if metrics.get("schema") != "pcap-metrics-v1":
+        errors.append(f"candidate metrics schema "
+                      f"{metrics.get('schema')!r} != 'pcap-metrics-v1'")
+        return
+    if not metrics.get("series"):
+        errors.append("candidate metrics block has no series")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("reference")
     parser.add_argument("candidate")
-    parser.add_argument("--tolerance", type=float, default=1e-9,
-                        help="relative tolerance for numeric tokens")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="relative tolerance for numeric tokens "
+                             "(default: byte-identical lines)")
+    parser.add_argument("--allow-missing-metrics", action="store_true",
+                        help="don't require the candidate to carry a "
+                             "metrics block")
     args = parser.parse_args()
 
     with open(args.reference) as f:
@@ -64,6 +94,9 @@ def main():
             continue
         if got.get(key) != ref[key]:
             errors.append(f"{key}: {got.get(key)!r} != {ref[key]!r}")
+
+    if not args.allow_missing_metrics:
+        check_metrics(got, errors)
 
     ref_reports = ref.get("reports", {})
     got_reports = got.get("reports", {})
@@ -90,8 +123,9 @@ def main():
         if len(errors) > 20:
             print(f"... and {len(errors) - 20} more")
         return 1
-    print(f"OK: {len(ref_reports)} reports match "
-          f"(tolerance {args.tolerance:g})")
+    mode = ("byte-identical" if args.tolerance is None
+            else f"tolerance {args.tolerance:g}")
+    print(f"OK: {len(ref_reports)} reports match ({mode})")
     return 0
 
 

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Compare two metric dumps and gate on regressions.
+
+Usage: metrics_diff.py BASE CANDIDATE [options]
+
+Inputs may be full BENCH_RESULTS.json files (the metrics live under
+the top-level "metrics" key) or bare pcap-metrics-v1 documents.
+Every series is flattened to scalar samples -- counters and gauges to
+their value, histograms to count/sum plus one sample per bucket,
+timers to seconds/laps -- and compared pairwise.
+
+A sample regresses when its relative change exceeds the allowed
+delta (default 0%: the simulation is deterministic, so any change in
+a deterministic metric is a finding). Wall-clock and cache-
+effectiveness families are machine- and run-dependent and ignored by
+default; see --ignore.
+
+Exit status: 0 when no regressions, 1 otherwise.
+
+Examples:
+  metrics_diff.py warm1.json warm2.json
+  metrics_diff.py old.json new.json --max-delta-pct 5
+  metrics_diff.py old.json new.json --rule 'pcap_energy_joules=0.5'
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+DEFAULT_IGNORE = r"wall|thread_pool|workload_cache|workload_generated"
+
+
+def load_series(path):
+    """Return the series list of a metrics document or bench file."""
+    with open(path) as f:
+        doc = json.load(f)
+    if "metrics" in doc:  # full BENCH_RESULTS.json
+        doc = doc["metrics"]
+    if "series" not in doc:
+        sys.exit(f"{path}: no 'series' key (and no 'metrics' block) "
+                 f"-- not a metrics document")
+    schema = doc.get("schema")
+    if schema != "pcap-metrics-v1":
+        sys.exit(f"{path}: unexpected metrics schema {schema!r}")
+    return doc["series"]
+
+
+def flatten(series_list):
+    """Map 'name{label=value,...}[/part]' -> scalar sample."""
+    samples = {}
+    for s in series_list:
+        labels = ",".join(f"{k}={v}"
+                          for k, v in sorted(s["labels"].items()))
+        key = f"{s['name']}{{{labels}}}"
+        kind = s["type"]
+        if kind in ("counter", "gauge"):
+            samples[key] = float(s["value"])
+        elif kind == "histogram":
+            samples[f"{key}/count"] = float(s["count"])
+            samples[f"{key}/sum"] = float(s["sum"])
+            for bucket in s["buckets"]:
+                samples[f"{key}/le={bucket['le']}"] = \
+                    float(bucket["count"])
+        elif kind == "timer":
+            samples[f"{key}/seconds"] = float(s["seconds"])
+            samples[f"{key}/laps"] = float(s["laps"])
+        else:
+            sys.exit(f"unknown series type {kind!r} for {key}")
+    return samples
+
+
+def delta_pct(base, cand):
+    if base == cand:
+        return 0.0
+    scale = max(abs(base), abs(cand))
+    if scale == 0.0:
+        return 0.0
+    return 100.0 * abs(cand - base) / scale
+
+
+def parse_rule(text):
+    name, sep, pct = text.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"rule must look like REGEX=PCT, got {text!r}")
+    try:
+        return re.compile(name), float(pct)
+    except (re.error, ValueError) as err:
+        raise argparse.ArgumentTypeError(f"bad rule {text!r}: {err}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("base", help="baseline metrics/bench file")
+    parser.add_argument("candidate", help="candidate metrics/bench file")
+    parser.add_argument("--max-delta-pct", type=float, default=0.0,
+                        help="allowed relative change in percent "
+                             "(default: 0, exact)")
+    parser.add_argument("--rule", type=parse_rule, action="append",
+                        default=[], metavar="REGEX=PCT",
+                        help="per-metric override of the allowed "
+                             "delta; first matching rule wins")
+    parser.add_argument("--ignore", default=DEFAULT_IGNORE,
+                        help="regex of sample keys to skip entirely "
+                             f"(default: {DEFAULT_IGNORE!r}; '' "
+                             "disables)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="don't fail when a baseline sample is "
+                             "missing from the candidate")
+    args = parser.parse_args()
+
+    base = flatten(load_series(args.base))
+    cand = flatten(load_series(args.candidate))
+    ignore = re.compile(args.ignore) if args.ignore else None
+
+    regressions = []
+    compared = ignored = 0
+    for key in sorted(base):
+        if ignore and ignore.search(key):
+            ignored += 1
+            continue
+        if key not in cand:
+            if not args.allow_missing:
+                regressions.append(f"MISSING  {key}")
+            continue
+        compared += 1
+        limit = args.max_delta_pct
+        for pattern, pct in args.rule:
+            if pattern.search(key):
+                limit = pct
+                break
+        pct = delta_pct(base[key], cand[key])
+        if pct > limit or math.isnan(pct):
+            regressions.append(
+                f"CHANGED  {key}: {base[key]:g} -> {cand[key]:g} "
+                f"({pct:.3f}% > {limit:g}%)")
+
+    new = sorted(k for k in cand if k not in base
+                 and not (ignore and ignore.search(k)))
+
+    print(f"compared {compared} samples "
+          f"({ignored} ignored, {len(new)} only in candidate)")
+    for key in new[:10]:
+        print(f"NEW      {key}")
+    if len(new) > 10:
+        print(f"... and {len(new) - 10} more new samples")
+
+    if regressions:
+        print(f"REGRESSIONS: {len(regressions)}")
+        for line in regressions[:50]:
+            print(line)
+        if len(regressions) > 50:
+            print(f"... and {len(regressions) - 50} more")
+        return 1
+    print("OK: zero regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,13 @@
 # Build Release, run the test suite, run bench_all, and check the
 # results against the committed reference.
 #
+# Three gates, in order:
+#   1. every report byte-identical to bench/reference (compare_bench)
+#   2. two warm runs produce identical deterministic metrics
+#      (metrics_diff, zero regressions allowed)
+#   3. a timestamped BENCH_PR3.json (+ .prom + manifest) lands at the
+#      repo root as the artifact of record for this revision.
+#
 # Usage: tools/run_benchmarks.sh [jobs]
 #   jobs  worker threads for bench_all (default: hardware)
 set -eu
@@ -27,12 +34,15 @@ trap 'rm -rf "$scratch"' EXIT
     --json "$scratch/cold.json" > /dev/null
 
 echo
-echo "== bench_all (warm cache) =="
+echo "== bench_all (warm cache, twice) =="
 "$build/bench/bench_all" --jobs "$jobs" \
     --cache-dir "$scratch/cache" \
     --json "$scratch/warm.json" > /dev/null
+"$build/bench/bench_all" --jobs "$jobs" \
+    --cache-dir "$scratch/cache" \
+    --json "$scratch/warm2.json" > /dev/null
 
-for run in cold warm; do
+for run in cold warm warm2; do
     python3 - "$scratch/$run.json" "$run" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -48,3 +58,15 @@ echo "== compare against bench/reference/BENCH_RESULTS.ref.json =="
 python3 "$root/tools/compare_bench.py" \
     "$root/bench/reference/BENCH_RESULTS.ref.json" \
     "$scratch/warm.json"
+
+echo
+echo "== metrics determinism (warm run vs warm run) =="
+python3 "$root/tools/metrics_diff.py" \
+    "$scratch/warm.json" "$scratch/warm2.json"
+
+echo
+echo "== publish BENCH_PR3.json =="
+cp "$scratch/warm.json" "$root/BENCH_PR3.json"
+cp "$scratch/warm.prom" "$root/BENCH_PR3.prom"
+cp "$scratch/warm.manifest.json" "$root/BENCH_PR3.manifest.json"
+echo "wrote $root/BENCH_PR3.json (+ .prom, .manifest.json)"
