@@ -66,6 +66,11 @@ usage(std::ostream &os)
           "      --trace-dir P write one per-idle-period JSONL "
           "trace per\n"
           "                    simulation cell into directory P\n"
+          "      --provenance-dir P  record prediction provenance "
+          "per policy\n"
+          "                    cell into directory P (binary + "
+          "JSONL; see\n"
+          "                    tools/pcap_explain)\n"
           "      --metrics-out P  Prometheus text metrics file "
           "(default:\n"
           "                    <json>.prom; '-' disables)\n"
@@ -145,6 +150,7 @@ main(int argc, char **argv)
     std::string cache_dir;
     std::string json_path = "BENCH_RESULTS.json";
     std::string trace_dir;
+    std::string provenance_dir;
     std::string metrics_path;
     std::string manifest_path;
     std::vector<std::string> only;
@@ -200,6 +206,8 @@ main(int argc, char **argv)
             json_path = value("--json");
         } else if (arg == "--trace-dir") {
             trace_dir = value("--trace-dir");
+        } else if (arg == "--provenance-dir") {
+            provenance_dir = value("--provenance-dir");
         } else if (arg == "--metrics-out") {
             metrics_path = value("--metrics-out");
         } else if (arg == "--manifest") {
@@ -254,6 +262,7 @@ main(int argc, char **argv)
                                : cache_dir;
     }
     options.traceDir = trace_dir;
+    options.provenanceDir = provenance_dir;
     options.metrics = use_metrics ? &registry : nullptr;
 
     sim::ParallelEvaluation eval(bench::standardConfig(), options);

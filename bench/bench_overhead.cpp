@@ -20,6 +20,7 @@
 #include "core/global.hpp"
 #include "core/pcap.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "pred/learning_tree.hpp"
 #include "pred/timeout.hpp"
 #include "sim/input.hpp"
@@ -329,6 +330,55 @@ BM_IdleSinkClassify(benchmark::State &state)
 BENCHMARK(BM_IdleSinkClassify<false>)->Name("BM_IdleSinkClassify/null");
 BENCHMARK(BM_IdleSinkClassify<true>)
     ->Name("BM_IdleSinkClassify/metrics");
+
+/**
+ * Provenance flight recorder (PR 5): the raw ring append, and the
+ * end-to-end recorder cost per classified idle period — the same
+ * sink loop as BM_IdleSinkClassify, but with a ProvenanceObserver
+ * attached (sink-less ring, flight-recorder mode). Compare against
+ * BM_IdleSinkClassify/null for the per-period tax; the default
+ * provenance-off path pays only a null pointer test in the
+ * predictor.
+ */
+void
+BM_ProvenanceRecorderAppend(benchmark::State &state)
+{
+    obs::ProvenanceRecorder recorder(
+        static_cast<std::size_t>(state.range(0)));
+    obs::ProvenanceRecord record;
+    record.signature = 0x1234;
+    record.flags = obs::kProvHasDecision;
+    for (auto _ : state) {
+        record.startUs += 1000;
+        record.endUs = record.startUs + 500;
+        recorder.append(record);
+    }
+    benchmark::DoNotOptimize(recorder.appended());
+}
+BENCHMARK(BM_ProvenanceRecorderAppend)->Arg(4096);
+
+void
+BM_IdleSinkClassifyProvenance(benchmark::State &state)
+{
+    sim::SimParams params;
+    obs::ProvenanceRecorder recorder;
+    sim::ProvenanceObserver provenance(recorder, params.disk);
+
+    sim::AccuracyStats stats;
+    sim::IdleSink sink(params.breakeven(), stats, provenance);
+    TimeUs t = 0;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const TimeUs gap =
+            (++i % 3) ? secondsUs(30.0) : millisUs(100.0);
+        sink.classify(0, t, t + gap, (i % 3) ? t + secondsUs(5.0) : -1,
+                      pred::DecisionSource::Primary);
+        t += gap;
+    }
+    benchmark::DoNotOptimize(stats.opportunities);
+}
+BENCHMARK(BM_IdleSinkClassifyProvenance)
+    ->Name("BM_IdleSinkClassify/provenance");
 
 void
 BM_TimeoutOnIo(benchmark::State &state)

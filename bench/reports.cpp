@@ -3,6 +3,10 @@
 #include <iostream>
 #include <ostream>
 
+#include <iomanip>
+#include <sstream>
+
+#include "obs/provenance.hpp"
 #include "power/disk_params.hpp"
 #include "sim/drivers.hpp"
 #include "util/logging.hpp"
@@ -1004,6 +1008,89 @@ reportIdleHistogram(ReportContext &ctx, std::ostream &os)
        << " (all applications, all executions)\n";
 }
 
+// -- Extension: signature attribution forensics ----------------
+
+/** 0x-prefixed 8-hex-digit rendering of a 4-byte signature. */
+std::string
+hexSignature(std::uint32_t signature)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << std::setw(8) << std::setfill('0')
+       << signature;
+    return os.str();
+}
+
+void
+reportSignatureAttribution(ReportContext &ctx, std::ostream &os)
+{
+    header(os,
+           "Extension: per-signature accuracy and energy "
+           "attribution (global PCAP)",
+           "The provenance flight recorder joins every classified "
+           "idle period with the PCAP decision behind it. Below: "
+           "the top mispredicting signatures per application and "
+           "every signature collision (distinct PC paths summing to "
+           "the same 4-byte signature). Opt-in report: run via "
+           "--only signature_attribution.");
+
+    constexpr std::size_t kTop = 5;
+    const sim::SimParams &sim_params = ctx.eval.config().sim;
+    const sim::PolicyConfig pcap = sim::policyByName("PCAP");
+
+    TextTable table;
+    table.setHeader({"app", "signature", "periods", "hits", "misses",
+                     "paths", "net J"});
+
+    std::uint64_t total_records = 0;
+    std::uint64_t total_collisions = 0;
+    std::string collision_notes;
+    for (const std::string &app : ctx.eval.appNames()) {
+        obs::ProvenanceRecorder recorder;
+        obs::ForensicsSink sink;
+        recorder.addSink(&sink);
+        sim::ProvenanceObserver observer(recorder, sim_params.disk);
+        sim::SimulationKernel kernel(sim_params, observer);
+        sim::PolicySession session(pcap);
+        session.setProvenanceTap(&observer);
+        sim::GlobalDriver driver(session);
+        observer.bindDecisionPid(
+            [&driver] { return driver.decisionPid(); });
+        kernel.run(ctx.eval.inputs(app), driver);
+        recorder.close();
+
+        const obs::ProvenanceForensics &forensics = sink.forensics();
+        total_records += forensics.records();
+        for (const obs::SignatureSummary *summary :
+             forensics.topMispredictors(kTop)) {
+            table.addRow({app, hexSignature(summary->signature),
+                          std::to_string(summary->periods),
+                          std::to_string(summary->hits()),
+                          std::to_string(summary->misses()),
+                          std::to_string(summary->pathCounts.size()),
+                          fixedString(summary->energyDeltaJ, 1)});
+        }
+        for (const obs::SignatureSummary *summary :
+             forensics.collisions()) {
+            ++total_collisions;
+            collision_notes += "  " + app + ": " +
+                               hexSignature(summary->signature) +
+                               " formed by " +
+                               std::to_string(
+                                   summary->pathCounts.size()) +
+                               " distinct PC paths over " +
+                               std::to_string(summary->periods) +
+                               " periods\n";
+        }
+    }
+    table.print(os);
+
+    os << "\nsignature collisions: " << total_collisions << "\n";
+    if (!collision_notes.empty())
+        os << collision_notes;
+    os << "provenance records: " << total_records
+       << " (all applications, all executions)\n";
+}
+
 } // namespace
 
 double
@@ -1046,6 +1133,8 @@ allReports()
         // byte-compared reference suite.
         {"idle_histogram", "", reportIdleHistogram, cellsNone,
          /*optIn=*/true},
+        {"signature_attribution", "", reportSignatureAttribution,
+         cellsNone, /*optIn=*/true},
     };
     return kReports;
 }

@@ -64,13 +64,19 @@ GlobalShutdownPredictor::onAccess(const trace::DiskAccess &access)
 pred::ShutdownDecision
 GlobalShutdownPredictor::globalDecision() const
 {
+    return globalDecisionDetailed().decision;
+}
+
+GlobalShutdownPredictor::AttributedDecision
+GlobalShutdownPredictor::globalDecisionDetailed() const
+{
     pred::ShutdownDecision best;
     bool first = true;
     TimeUs best_last_io = -1;
     Pid best_pid = -1;
     for (const auto &[pid, slot] : slots_) {
         if (slot.decision.earliest == kTimeNever)
-            return slot.decision; // someone never consents
+            return {slot.decision, pid}; // someone never consents
         // The latest earliest-time wins; ties go to the process that
         // decided most recently ("last decision" attribution), then
         // to the lowest pid so the combine is independent of the hash
@@ -86,8 +92,8 @@ GlobalShutdownPredictor::globalDecision() const
         }
     }
     if (first)
-        return {0, pred::DecisionSource::None}; // no live processes
-    return best;
+        return {{0, pred::DecisionSource::None}, -1}; // none live
+    return {best, best_pid};
 }
 
 pred::ShutdownDecision

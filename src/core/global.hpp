@@ -66,6 +66,18 @@ class GlobalShutdownPredictor
     /** Current global decision (combine of all live processes). */
     pred::ShutdownDecision globalDecision() const;
 
+    /** A global decision together with the process that holds it —
+     * the paper's "last decision" attribution, exposed for the
+     * provenance flight recorder. */
+    struct AttributedDecision
+    {
+        pred::ShutdownDecision decision;
+        Pid pid = -1; ///< deciding process, -1 with none live
+    };
+
+    /** globalDecision() plus the pid holding the winning decision. */
+    AttributedDecision globalDecisionDetailed() const;
+
     /** Standing decision of one live process (testing hook). */
     pred::ShutdownDecision localDecision(Pid pid) const;
 

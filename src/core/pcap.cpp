@@ -4,6 +4,14 @@
 
 namespace pcap::core {
 
+namespace {
+
+// FNV-1a parameters for the order-sensitive full-path hash.
+constexpr std::uint64_t kFnvOffset64 = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime64 = 0x100000001b3ull;
+
+} // namespace
+
 std::string
 PcapConfig::variantName() const
 {
@@ -83,7 +91,45 @@ PcapPredictor::pushHistory(bool long_idle)
 }
 
 void
-PcapPredictor::observeGap(TimeUs gap)
+PcapPredictor::attachProvenance(ProvenanceTap *tap, Pid pid)
+{
+    tap_ = tap;
+    pid_ = pid;
+    pathTail_.fill(0);
+    pathTailLen_ = 0;
+    pathLength_ = 0;
+    pathHash_ = kFnvOffset64;
+}
+
+void
+PcapPredictor::notePathPc(Address pc, bool reset)
+{
+    if (reset) {
+        pathTail_.fill(0);
+        pathTailLen_ = 0;
+        pathLength_ = 0;
+        pathHash_ = kFnvOffset64;
+    }
+    // FNV-1a over the PC's bytes: order-sensitive, so two paths that
+    // alias under the 4-byte arithmetic sum still hash apart.
+    std::uint64_t h = pathHash_;
+    for (int shift = 0; shift < 32; shift += 8) {
+        h ^= (pc >> shift) & 0xffu;
+        h *= kFnvPrime64;
+    }
+    pathHash_ = h;
+    ++pathLength_;
+    if (pathTailLen_ < kProvenancePathDepth) {
+        pathTail_[pathTailLen_++] = pc;
+    } else {
+        for (std::size_t i = 1; i < kProvenancePathDepth; ++i)
+            pathTail_[i - 1] = pathTail_[i];
+        pathTail_[kProvenancePathDepth - 1] = pc;
+    }
+}
+
+void
+PcapPredictor::observeGap(TimeUs gap, TimeUs now)
 {
     // Idle periods shorter than the wait-window are filtered at run
     // time (Section 4.1.1): no training, no history, the path
@@ -97,8 +143,16 @@ PcapPredictor::observeGap(TimeUs gap)
         // The key that was current when the disk went idle preceded
         // a long idle period: learn it (Section 3.2).
         if (pendingValid_) {
-            if (table_->train(pendingKey_))
+            const bool inserted = table_->train(pendingKey_);
+            if (inserted)
                 ++trainingInserts_;
+            if (tap_) {
+                PcapTrainEvent event;
+                event.time = now;
+                event.key = pendingKey_;
+                event.inserted = inserted;
+                tap_->onPcapTraining(pid_, event);
+            }
         }
         // The signature is overwritten by the PC of the first I/O of
         // the next path (Figure 4).
@@ -119,16 +173,30 @@ pred::ShutdownDecision
 PcapPredictor::onIo(const pred::IoContext &ctx)
 {
     if (ctx.sincePrev >= 0)
-        observeGap(ctx.sincePrev);
+        observeGap(ctx.sincePrev, ctx.time);
 
+    const bool fresh_path = resetPathOnNextIo_;
     if (resetPathOnNextIo_) {
         signature_.reset(ctx.pc);
         resetPathOnNextIo_ = false;
     } else {
         signature_.extend(ctx.pc);
     }
+    if (tap_)
+        notePathPc(ctx.pc, fresh_path);
 
     const TableKey key = makeKey(ctx.fd);
+
+    // Snapshot the entry around the mutating lookup — tap-only work,
+    // worth two extra probes when the flight recorder is listening.
+    std::uint32_t hits_before = 0, trainings_before = 0;
+    bool present = false;
+    if (tap_ && (present = table_->contains(key))) {
+        const PredictionTable::Entry &entry = table_->entryOf(key);
+        hits_before = entry.hits;
+        trainings_before = entry.trainings;
+    }
+
     const bool predicted = table_->lookup(key);
     pendingKey_ = key;
     pendingValid_ = true;
@@ -144,6 +212,29 @@ PcapPredictor::onIo(const pred::IoContext &ctx)
     } else {
         decision_ = {kTimeNever, pred::DecisionSource::None};
     }
+
+    if (tap_) {
+        PcapDecisionEvent event;
+        event.time = ctx.time;
+        event.signature = signature_.value();
+        event.pathHash = pathHash_;
+        event.pathLength = pathLength_;
+        event.pathTail = pathTail_;
+        event.pathTailLength = pathTailLen_;
+        event.key = key;
+        event.predicted = predicted;
+        event.entryPresent = present;
+        event.entryHitsBefore = hits_before;
+        event.entryTrainingsBefore = trainings_before;
+        if (present) {
+            const PredictionTable::Entry &entry =
+                table_->entryOf(key);
+            event.entryHitsAfter = entry.hits;
+            event.entryTrainingsAfter = entry.trainings;
+        }
+        event.decision = decision_;
+        tap_->onPcapDecision(pid_, event);
+    }
     return decision_;
 }
 
@@ -156,6 +247,10 @@ PcapPredictor::resetExecution()
     pendingValid_ = false;
     pendingPredicted_ = false;
     decision_ = pred::initialConsent(startTime_);
+    pathTail_.fill(0);
+    pathTailLen_ = 0;
+    pathLength_ = 0;
+    pathHash_ = kFnvOffset64;
 }
 
 } // namespace pcap::core

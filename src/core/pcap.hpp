@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/prediction_table.hpp"
+#include "core/provenance_tap.hpp"
 #include "core/signature.hpp"
 #include "pred/predictor.hpp"
 
@@ -108,9 +109,24 @@ class PcapPredictor : public pred::ShutdownPredictor
     /** The shared table (testing hook). */
     const PredictionTable &table() const { return *table_; }
 
+    /**
+     * Attach a provenance tap: every lookup and training is reported
+     * to @p tap, attributed to @p pid, together with the PC-path
+     * context behind it (the flight recorder, obs/provenance.hpp).
+     * The tap must outlive the predictor; null detaches. Path-tail
+     * tracking only happens while a tap is attached, so the default
+     * path is untouched.
+     */
+    void attachProvenance(ProvenanceTap *tap, Pid pid);
+
   private:
-    /** Fold the just-completed idle period into training/history. */
-    void observeGap(TimeUs gap);
+    /** Fold the just-completed idle period into training/history.
+     * @p now is the arrival of the I/O that closed the period. */
+    void observeGap(TimeUs gap, TimeUs now);
+
+    /** Fold @p pc into the tap-only path context (tail, hash,
+     * length); @p reset starts a fresh path. */
+    void notePathPc(Address pc, bool reset);
 
     /** Initialize the history as all long periods (cold start). */
     void seedHistory();
@@ -138,6 +154,14 @@ class PcapPredictor : public pred::ShutdownPredictor
     std::uint64_t predictions_ = 0;
     std::uint64_t mispredictionsObserved_ = 0;
     std::uint64_t trainingInserts_ = 0;
+
+    // Provenance context, maintained only while tap_ is attached.
+    ProvenanceTap *tap_ = nullptr;
+    Pid pid_ = -1;
+    std::array<Address, kProvenancePathDepth> pathTail_{};
+    std::uint8_t pathTailLen_ = 0;
+    std::uint32_t pathLength_ = 0;
+    std::uint64_t pathHash_ = 0;
 };
 
 } // namespace pcap::core

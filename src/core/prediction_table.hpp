@@ -103,6 +103,17 @@ class PredictionTable
     /** Entries evicted by LRU replacement so far. */
     std::uint64_t evictions() const { return evictions_; }
 
+    /**
+     * Callback fired with the victim key on every LRU eviction — the
+     * provenance flight recorder's churn hook. Empty disables (the
+     * default); the hook must not reenter the table.
+     */
+    using EvictionHook = std::function<void(const TableKey &)>;
+    void setEvictionHook(EvictionHook hook)
+    {
+        evictionHook_ = std::move(hook);
+    }
+
     /** Discard all entries (PCAPa: no reuse between executions). */
     void clear();
 
@@ -138,6 +149,7 @@ class PredictionTable
     std::size_t capacity_;
     std::uint64_t tick_ = 0;
     std::uint64_t evictions_ = 0;
+    EvictionHook evictionHook_;
     std::unordered_map<TableKey, Entry, TableKeyHash> entries_;
 };
 

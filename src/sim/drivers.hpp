@@ -54,6 +54,13 @@ class GlobalDriver final : public PolicyDriver
                   IdleSink &sink) override;
     bool parkLowPower() const override { return park_; }
 
+    /** Pid holding the current global decision — the provenance
+     * recorder's attribution query (see bindDecisionPid). */
+    Pid decisionPid() const
+    {
+        return gsp_ ? gsp_->globalDecisionDetailed().pid : -1;
+    }
+
   private:
     PolicySession &session_;
     Options options_;

@@ -254,6 +254,21 @@ ParallelEvaluation::ParallelEvaluation(ExperimentConfig config,
         options_.jobs = ThreadPool::hardwareJobs();
     if (!options_.traceDir.empty())
         std::filesystem::create_directories(options_.traceDir);
+    if (!options_.provenanceDir.empty())
+        std::filesystem::create_directories(options_.provenanceDir);
+}
+
+std::string
+ParallelEvaluation::cellFileStem(const char *mode,
+                                 const std::string &app,
+                                 const PolicyConfig *policy) const
+{
+    std::string name = std::string(mode) + "-" + app;
+    if (policy) {
+        name += "-" + policy->label + "-" +
+                hex16(hashString(policyCacheKey(*policy)));
+    }
+    return name;
 }
 
 std::unique_ptr<SimObserver>
@@ -263,13 +278,9 @@ ParallelEvaluation::traceObserver(const char *mode,
 {
     if (options_.traceDir.empty())
         return nullptr;
-    std::string name = std::string(mode) + "-" + app;
-    if (policy) {
-        name += "-" + policy->label + "-" +
-                hex16(hashString(policyCacheKey(*policy)));
-    }
     return std::make_unique<JsonlTraceObserver>(
-        options_.traceDir + "/" + name + ".jsonl");
+        options_.traceDir + "/" + cellFileStem(mode, app, policy) +
+        ".jsonl");
 }
 
 obs::ScopedMetrics
@@ -306,8 +317,28 @@ struct ParallelEvaluation::CellInstruments
     obs::ScopedMetrics scope;
     std::unique_ptr<SimObserver> trace;
     std::unique_ptr<MetricsObserver> metrics;
+    std::unique_ptr<obs::ProvenanceRecorder> provRecorder;
+    std::unique_ptr<obs::BinaryProvenanceWriter> provBinary;
+    std::unique_ptr<obs::JsonlProvenanceWriter> provJsonl;
+    std::unique_ptr<ProvenanceObserver> provenance;
     std::unique_ptr<TeeObserver> tee;
     SimObserver *observer = nullptr;
+
+    /** Bind the session to the recorder; no-op with provenance off. */
+    void
+    attachSession(PolicySession &session) const
+    {
+        if (provenance)
+            session.setProvenanceTap(provenance.get());
+    }
+
+    /** Drain and close the provenance sinks after the run. */
+    void
+    finishProvenance() const
+    {
+        if (provRecorder)
+            provRecorder->close();
+    }
 };
 
 ParallelEvaluation::CellInstruments
@@ -323,15 +354,32 @@ ParallelEvaluation::instrument(const char *mode,
         inst.metrics = std::make_unique<MetricsObserver>(
             inst.scope, config_.sim.breakeven(), trackDisk);
     }
-    if (inst.trace && inst.metrics) {
-        inst.tee = std::make_unique<TeeObserver>(
-            std::vector<SimObserver *>{inst.trace.get(),
-                                       inst.metrics.get()});
+    if (!options_.provenanceDir.empty() && policy) {
+        const std::string stem = cellFileStem(mode, app, policy);
+        const std::string base = options_.provenanceDir + "/" + stem;
+        inst.provRecorder =
+            std::make_unique<obs::ProvenanceRecorder>();
+        inst.provBinary = std::make_unique<obs::BinaryProvenanceWriter>(
+            base + ".prov.bin");
+        inst.provJsonl = std::make_unique<obs::JsonlProvenanceWriter>(
+            base + ".prov.jsonl", stem);
+        inst.provRecorder->addSink(inst.provBinary.get());
+        inst.provRecorder->addSink(inst.provJsonl.get());
+        inst.provenance = std::make_unique<ProvenanceObserver>(
+            *inst.provRecorder, config_.sim.disk);
+    }
+    std::vector<SimObserver *> children;
+    if (inst.trace)
+        children.push_back(inst.trace.get());
+    if (inst.metrics)
+        children.push_back(inst.metrics.get());
+    if (inst.provenance)
+        children.push_back(inst.provenance.get());
+    if (children.size() > 1) {
+        inst.tee = std::make_unique<TeeObserver>(std::move(children));
         inst.observer = inst.tee.get();
-    } else if (inst.trace) {
-        inst.observer = inst.trace.get();
-    } else if (inst.metrics) {
-        inst.observer = inst.metrics.get();
+    } else if (children.size() == 1) {
+        inst.observer = children.front();
     } else {
         inst.observer = &nullObserver();
     }
@@ -420,13 +468,14 @@ ParallelEvaluation::localAccuracy(const std::string &app,
         auto inst =
             instrument("local", app, &policy, /*trackDisk=*/false);
         PolicySession session(policy);
+        inst.attachSession(session);
         LocalDriver driver(session);
         SimulationKernel kernel(config_.sim, *inst.observer);
         auto lap =
             inst.scope.timer("pcap_cell_wall_seconds").measure();
         memo->value = kernel.run(inputs(app), driver).accuracy;
-        inst.scope.gauge("pcap_predictor_table_entries")
-            .set(static_cast<double>(session.tableEntries()));
+        inst.finishProvenance();
+        recordSessionMetrics(session, inst.scope);
     });
     return memo->value;
 }
@@ -441,14 +490,19 @@ ParallelEvaluation::globalRun(const std::string &app,
         auto inst =
             instrument("global", app, &policy, /*trackDisk=*/true);
         PolicySession session(policy);
+        inst.attachSession(session);
         GlobalDriver driver(session);
+        if (inst.provenance) {
+            inst.provenance->bindDecisionPid(
+                [&driver] { return driver.decisionPid(); });
+        }
         SimulationKernel kernel(config_.sim, *inst.observer);
         auto lap =
             inst.scope.timer("pcap_cell_wall_seconds").measure();
         memo->value.run = kernel.run(inputs(app), driver);
         memo->value.tableEntries = session.tableEntries();
-        inst.scope.gauge("pcap_predictor_table_entries")
-            .set(static_cast<double>(memo->value.tableEntries));
+        inst.finishProvenance();
+        recordSessionMetrics(session, inst.scope);
     });
     return memo->value;
 }
@@ -463,14 +517,19 @@ ParallelEvaluation::multiStateRun(const std::string &app,
         auto inst = instrument("multistate", app, &policy,
                                /*trackDisk=*/true);
         PolicySession session(policy);
+        inst.attachSession(session);
         GlobalDriver driver(session, {.multiState = true});
+        if (inst.provenance) {
+            inst.provenance->bindDecisionPid(
+                [&driver] { return driver.decisionPid(); });
+        }
         SimulationKernel kernel(config_.sim, *inst.observer);
         auto lap =
             inst.scope.timer("pcap_cell_wall_seconds").measure();
         memo->value.run = kernel.run(inputs(app), driver);
         memo->value.tableEntries = session.tableEntries();
-        inst.scope.gauge("pcap_predictor_table_entries")
-            .set(static_cast<double>(memo->value.tableEntries));
+        inst.finishProvenance();
+        recordSessionMetrics(session, inst.scope);
     });
     return memo->value;
 }

@@ -207,6 +207,16 @@ struct ParallelOptions
     std::string traceDir;
 
     /**
+     * When non-empty, every policy cell runs with the provenance
+     * flight recorder attached and serializes its records into this
+     * directory (created if needed): a compact binary file plus a
+     * pcap-provenance-v1 JSONL mirror per (mode, app, policy) cell,
+     * named <mode>-<app>-<label>-<hash>.prov.{bin,jsonl}. Empty
+     * disables provenance entirely (the default path is untouched).
+     */
+    std::string provenanceDir;
+
+    /**
      * Registry every layer records into, or null to disable
      * instrumentation. Each cell writes through a ScopedMetrics
      * labelled {config, mode, app, policy, policy_hash}, so parallel
@@ -293,10 +303,15 @@ class ParallelEvaluation : public EvaluationApi
     void computeCell(const Cell &cell);
 
     /**
-     * The JSONL observer of one cell, or null when tracing is off.
-     * Files are named <mode>-<app>[-<label>-<policy hash>].jsonl;
-     * the hash disambiguates sweep variants sharing a label.
+     * File stem identifying one cell:
+     * <mode>-<app>[-<label>-<policy hash>]; the hash disambiguates
+     * sweep variants sharing a label.
      */
+    std::string cellFileStem(const char *mode, const std::string &app,
+                             const PolicyConfig *policy) const;
+
+    /** The JSONL observer of one cell, or null when tracing is
+     * off. */
     std::unique_ptr<SimObserver>
     traceObserver(const char *mode, const std::string &app,
                   const PolicyConfig *policy) const;

@@ -161,6 +161,7 @@ SimulationKernel::runExecution(const ExecutionInput &input,
             if (candidate < until) {
                 shutdown_at = candidate;
                 shutdown_source = d.source;
+                observer_.onShutdownLatched(candidate, d.source);
             }
         }
         seg_start = until;

@@ -121,6 +121,13 @@ TeeObserver::onIdlePeriod(const IdlePeriodRecord &record)
 }
 
 void
+TeeObserver::onShutdownLatched(TimeUs at, pred::DecisionSource source)
+{
+    for (SimObserver *observer : observers_)
+        observer->onShutdownLatched(at, source);
+}
+
+void
 TeeObserver::onShutdownIssued(TimeUs at)
 {
     for (SimObserver *observer : observers_)
@@ -147,6 +154,152 @@ TeeObserver::onSpinUpServed(TimeUs time, TimeUs delay)
 {
     for (SimObserver *observer : observers_)
         observer->onSpinUpServed(time, delay);
+}
+
+// ---------------------------------------------------------------
+// ProvenanceObserver
+// ---------------------------------------------------------------
+
+static_assert(obs::kProvenancePathTail == core::kProvenancePathDepth,
+              "provenance record and core tap disagree on the path "
+              "tail depth");
+
+ProvenanceObserver::ProvenanceObserver(
+    obs::ProvenanceRecorder &recorder, const power::DiskParams &disk)
+    : recorder_(recorder), disk_(disk)
+{
+}
+
+void
+ProvenanceObserver::bindDecisionPid(std::function<Pid()> query)
+{
+    decisionPid_ = std::move(query);
+}
+
+void
+ProvenanceObserver::onExecutionBegin(const ExecutionInput &input)
+{
+    latest_.clear();
+    latchValid_ = false;
+    latchHasEvent_ = false;
+    execution_ = input.execution;
+    execEnd_ = input.endTime;
+}
+
+void
+ProvenanceObserver::onPcapDecision(Pid pid,
+                                   const core::PcapDecisionEvent &event)
+{
+    latest_[pid] = event;
+}
+
+void
+ProvenanceObserver::onPcapTraining(Pid pid,
+                                   const core::PcapTrainEvent &event)
+{
+    (void)pid;
+    (void)event;
+    ++trainings_;
+}
+
+void
+ProvenanceObserver::onTableEviction(const core::TableKey &key)
+{
+    (void)key;
+    ++evictions_;
+}
+
+void
+ProvenanceObserver::onShutdownLatched(TimeUs at,
+                                      pred::DecisionSource source)
+{
+    (void)at;
+    (void)source;
+    latchValid_ = true;
+    latchPid_ = decisionPid_ ? decisionPid_() : -1;
+    latchHasEvent_ = false;
+    auto it = latest_.find(latchPid_);
+    if (it != latest_.end()) {
+        latchEvent_ = it->second;
+        latchHasEvent_ = true;
+    }
+}
+
+void
+ProvenanceObserver::fillDecision(obs::ProvenanceRecord &out,
+                                 const core::PcapDecisionEvent &event)
+{
+    out.flags |= obs::kProvHasDecision;
+    out.signature = event.signature;
+    out.pathHash = event.pathHash;
+    out.pathLength = event.pathLength;
+    out.pathTail = event.pathTail;
+    out.pathTailLength = event.pathTailLength;
+    out.decisionTimeUs = event.time;
+    out.decisionEarliestUs = event.decision.earliest == kTimeNever
+                                 ? -1
+                                 : event.decision.earliest;
+    if (event.predicted)
+        out.flags |= obs::kProvPredicted;
+    if (event.entryPresent) {
+        out.flags |= obs::kProvEntryPresent;
+        out.entryHitsBefore = event.entryHitsBefore;
+        out.entryTrainingsBefore = event.entryTrainingsBefore;
+        out.entryHitsAfter = event.entryHitsAfter;
+        out.entryTrainingsAfter = event.entryTrainingsAfter;
+    }
+}
+
+void
+ProvenanceObserver::onIdlePeriod(const IdlePeriodRecord &record)
+{
+    obs::ProvenanceRecord out;
+    out.startUs = record.start;
+    out.endUs = record.end;
+    out.shutdownUs = record.shutdownAt;
+    out.execution = execution_;
+    out.outcome = static_cast<std::uint8_t>(record.outcome);
+    out.source = static_cast<std::uint8_t>(record.source);
+
+    Pid pid = record.pid;
+    const core::PcapDecisionEvent *event = nullptr;
+    if (record.pid != kMergedStreamPid) {
+        // Per-process stream: the stored event is still the
+        // gap-opening one (classification precedes the predictor
+        // update for the terminating access).
+        auto it = latest_.find(pid);
+        if (it != latest_.end())
+            event = &it->second;
+    } else if (latchValid_) {
+        pid = latchPid_;
+        if (latchHasEvent_)
+            event = &latchEvent_;
+    } else if (decisionPid_) {
+        // No shutdown latched in this gap: attribute to the live
+        // holder of the global decision.
+        pid = decisionPid_();
+        auto it = latest_.find(pid);
+        if (it != latest_.end())
+            event = &it->second;
+    }
+    latchValid_ = false;
+
+    out.pid = pid;
+    if (event)
+        fillDecision(out, *event);
+
+    if (record.shutdownAt >= 0) {
+        const double off_sec =
+            usToSeconds(record.end - record.shutdownAt);
+        double cost = disk_.shutdownEnergyJ +
+                      disk_.standbyPowerW * off_sec;
+        // The trailing gap of an execution ends with the disk still
+        // down: no spin-up is charged against it.
+        if (record.end != execEnd_)
+            cost += disk_.spinUpEnergyJ;
+        out.energyDeltaJ = disk_.idlePowerW * off_sec - cost;
+    }
+    recorder_.append(out);
 }
 
 // ---------------------------------------------------------------

@@ -17,11 +17,16 @@
 #include <array>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "core/provenance_tap.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "power/disk.hpp"
+#include "power/disk_params.hpp"
 #include "pred/predictor.hpp"
 #include "util/types.hpp"
 
@@ -93,6 +98,19 @@ class SimObserver : public power::DiskObserver
         (void)record;
     }
 
+    /**
+     * The kernel latched a standing shutdown decision for the
+     * current idle gap: a spin-down will fire at @p at attributed to
+     * @p source (unless the disk cannot serve it). Fires at most
+     * once per gap, before the gap is classified.
+     */
+    virtual void onShutdownLatched(TimeUs at,
+                                   pred::DecisionSource source)
+    {
+        (void)at;
+        (void)source;
+    }
+
     /** The power manager's spin-down order was accepted at @p at. */
     virtual void onShutdownIssued(TimeUs at) { (void)at; }
 
@@ -152,6 +170,8 @@ class TeeObserver final : public SimObserver
     void onExecutionEnd(const ExecutionInput &input,
                         const RunResult &result) override;
     void onIdlePeriod(const IdlePeriodRecord &record) override;
+    void onShutdownLatched(TimeUs at,
+                           pred::DecisionSource source) override;
     void onShutdownIssued(TimeUs at) override;
     void onShutdownIgnored(TimeUs at) override;
     void onDiskStateChange(TimeUs time, power::DiskState from,
@@ -160,6 +180,79 @@ class TeeObserver final : public SimObserver
 
   private:
     std::vector<SimObserver *> observers_;
+};
+
+/**
+ * The provenance flight recorder's join point: correlates the PCAP
+ * predictor's decision events (via core::ProvenanceTap) with the
+ * kernel's classified idle periods (via SimObserver) and appends one
+ * obs::ProvenanceRecord per period to the recorder.
+ *
+ * Attribution: per-process records (LocalDriver) join on the
+ * record's own pid — classification precedes the predictor update
+ * for the terminating access, so the stored decision event is still
+ * the gap-opening one. Merged-stream records join through the
+ * shutdown latch (the pid holding the winning global decision when
+ * the kernel latched the spin-down, via bindDecisionPid); unlatched
+ * merged gaps fall back to the live winner at classification time.
+ *
+ * The energy delta per shutdown period is what the spin-down was
+ * worth against leaving the disk idling: idle power over the
+ * off-time minus shutdown energy, standby power, and — unless the
+ * gap runs to the end of the execution — one spin-up energy.
+ */
+class ProvenanceObserver final : public SimObserver,
+                                 public core::ProvenanceTap
+{
+  public:
+    ProvenanceObserver(obs::ProvenanceRecorder &recorder,
+                       const power::DiskParams &disk);
+
+    /** Bind the query for the pid holding the current global
+     * decision (GlobalDriver::decisionPid). Optional; without it
+     * merged-stream records carry pid -1. */
+    void bindDecisionPid(std::function<Pid()> query);
+
+    // SimObserver hooks
+    void onExecutionBegin(const ExecutionInput &input) override;
+    void onIdlePeriod(const IdlePeriodRecord &record) override;
+    void onShutdownLatched(TimeUs at,
+                           pred::DecisionSource source) override;
+
+    // core::ProvenanceTap hooks
+    void onPcapDecision(Pid pid,
+                        const core::PcapDecisionEvent &event) override;
+    void onPcapTraining(Pid pid,
+                        const core::PcapTrainEvent &event) override;
+    void onTableEviction(const core::TableKey &key) override;
+
+    /** Training events seen (table insertions and refreshes). */
+    std::uint64_t trainingCount() const { return trainings_; }
+
+    /** LRU evictions reported by the prediction table. */
+    std::uint64_t evictionCount() const { return evictions_; }
+
+  private:
+    /** Copy a decision event's evidence into @p out. */
+    static void fillDecision(obs::ProvenanceRecord &out,
+                             const core::PcapDecisionEvent &event);
+
+    obs::ProvenanceRecorder &recorder_;
+    power::DiskParams disk_;
+    std::function<Pid()> decisionPid_;
+
+    /** Latest decision event per process, current execution. */
+    std::unordered_map<Pid, core::PcapDecisionEvent> latest_;
+
+    bool latchValid_ = false;
+    Pid latchPid_ = -1;
+    bool latchHasEvent_ = false;
+    core::PcapDecisionEvent latchEvent_;
+
+    std::int32_t execution_ = 0;
+    TimeUs execEnd_ = 0;
+    std::uint64_t trainings_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 /**

@@ -204,7 +204,6 @@ PolicySession::beginExecution()
 std::unique_ptr<pred::ShutdownPredictor>
 PolicySession::makeLocal(Pid pid, TimeUs start_time)
 {
-    (void)pid;
     switch (config_.kind) {
       case PolicyKind::Timeout:
         return std::make_unique<pred::TimeoutPredictor>(
@@ -212,10 +211,13 @@ PolicySession::makeLocal(Pid pid, TimeUs start_time)
       case PolicyKind::LearningTree:
         return std::make_unique<pred::LtPredictor>(config_.lt, tree_,
                                                    start_time);
-      case PolicyKind::Pcap:
-        return std::make_unique<core::PcapPredictor>(config_.pcap,
-                                                     table_,
-                                                     start_time);
+      case PolicyKind::Pcap: {
+        auto predictor = std::make_unique<core::PcapPredictor>(
+            config_.pcap, table_, start_time);
+        if (tap_)
+            predictor->attachProvenance(tap_, pid);
+        return predictor;
+      }
       case PolicyKind::ExpAverage:
         return std::make_unique<pred::ExpAveragePredictor>(
             config_.expAverage, start_time);
@@ -237,6 +239,39 @@ PolicySession::tableEntries() const
     if (tree_)
         return tree_->size();
     return 0;
+}
+
+std::uint64_t
+PolicySession::tableEvictions() const
+{
+    return table_ ? table_->evictions() : 0;
+}
+
+void
+PolicySession::setProvenanceTap(core::ProvenanceTap *tap)
+{
+    tap_ = tap;
+    if (!table_)
+        return;
+    if (tap) {
+        table_->setEvictionHook([tap](const core::TableKey &key) {
+            tap->onTableEviction(key);
+        });
+    } else {
+        table_->setEvictionHook({});
+    }
+}
+
+void
+recordSessionMetrics(const PolicySession &session,
+                     const obs::ScopedMetrics &scope)
+{
+    if (!scope.enabled())
+        return;
+    scope.gauge("pcap_predictor_table_entries")
+        .set(static_cast<double>(session.tableEntries()));
+    scope.gauge("pcap_predictor_table_evictions")
+        .set(static_cast<double>(session.tableEvictions()));
 }
 
 } // namespace pcap::sim

@@ -20,6 +20,8 @@
 
 #include "core/pcap.hpp"
 #include "core/prediction_table.hpp"
+#include "core/provenance_tap.hpp"
+#include "obs/metrics.hpp"
 #include "pred/adaptive_timeout.hpp"
 #include "pred/busy_ratio.hpp"
 #include "pred/exp_average.hpp"
@@ -140,6 +142,18 @@ class PolicySession
      */
     std::size_t tableEntries() const;
 
+    /** LRU evictions of the PCAP table so far; 0 for non-PCAP. */
+    std::uint64_t tableEvictions() const;
+
+    /**
+     * Attach the provenance tap: PCAP local predictors created by
+     * makeLocal from now on report their decisions and trainings to
+     * @p tap, and the shared table reports LRU evictions. Null
+     * detaches. The tap must outlive every predictor made while it
+     * is attached.
+     */
+    void setProvenanceTap(core::ProvenanceTap *tap);
+
     /** The PCAP table (null unless kind == Pcap); for persistence
      * demos and tests. */
     std::shared_ptr<core::PredictionTable> table() { return table_; }
@@ -148,7 +162,16 @@ class PolicySession
     PolicyConfig config_;
     std::shared_ptr<core::PredictionTable> table_; // PCAP state
     std::shared_ptr<pred::LtTree> tree_;           // LT state
+    core::ProvenanceTap *tap_ = nullptr;
 };
+
+/**
+ * Export the session's learned-state gauges —
+ * pcap_predictor_table_entries and pcap_predictor_table_evictions —
+ * into @p scope. No-op when metrics are disabled.
+ */
+void recordSessionMetrics(const PolicySession &session,
+                          const obs::ScopedMetrics &scope);
 
 } // namespace pcap::sim
 

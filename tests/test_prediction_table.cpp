@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "core/prediction_table.hpp"
 
@@ -100,6 +101,27 @@ TEST(PredictionTable, CapacityEnforcedWithLru)
     EXPECT_FALSE(table.contains(key(2)));
     EXPECT_TRUE(table.contains(key(3)));
     EXPECT_EQ(table.evictions(), 1u);
+}
+
+TEST(PredictionTable, EvictionHookSeesVictimKey)
+{
+    PredictionTable table(2);
+    std::vector<TableKey> victims;
+    table.setEvictionHook(
+        [&victims](const TableKey &k) { victims.push_back(k); });
+    table.train(key(1));
+    table.train(key(2));
+    EXPECT_TRUE(victims.empty()); // capacity not yet exceeded
+    table.lookup(key(1));         // key 2 becomes LRU
+    table.train(key(3));          // evicts key 2
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], key(2));
+    EXPECT_EQ(table.evictions(), 1u);
+
+    table.setEvictionHook(nullptr); // detaching is safe
+    table.train(key(4));            // evicts without a hook
+    EXPECT_EQ(victims.size(), 1u);
+    EXPECT_EQ(table.evictions(), 2u);
 }
 
 TEST(PredictionTable, TrainingRefreshesLruOrder)

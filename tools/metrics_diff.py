@@ -15,7 +15,12 @@ a deterministic metric is a finding). Wall-clock and cache-
 effectiveness families are machine- and run-dependent and ignored by
 default; see --ignore.
 
-Exit status: 0 when no regressions, 1 otherwise.
+Exit status:
+  0  no regressions
+  1  regressions found (changed samples, or metric families present
+     in the baseline but missing from the candidate)
+  2  bad input (unreadable file, not a metrics document, wrong
+     schema, or a malformed series missing required fields)
 
 Examples:
   metrics_diff.py warm1.json warm2.json
@@ -32,42 +37,73 @@ import sys
 DEFAULT_IGNORE = r"wall|thread_pool|workload_cache|workload_generated"
 
 
+def die(message):
+    """Input error: print a diagnostic and exit with status 2."""
+    print(f"metrics_diff: error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def family(key):
+    """Family of a sample key: the metric name before '{'."""
+    return key.partition("{")[0]
+
+
 def load_series(path):
     """Return the series list of a metrics document or bench file."""
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as err:
+        die(f"{path}: {err.strerror or err}")
+    except json.JSONDecodeError as err:
+        die(f"{path}: not valid JSON ({err})")
+    if not isinstance(doc, dict):
+        die(f"{path}: top level is {type(doc).__name__}, "
+            f"expected an object")
     if "metrics" in doc:  # full BENCH_RESULTS.json
         doc = doc["metrics"]
     if "series" not in doc:
-        sys.exit(f"{path}: no 'series' key (and no 'metrics' block) "
-                 f"-- not a metrics document")
+        die(f"{path}: no 'series' key (and no 'metrics' block) "
+            f"-- not a metrics document")
     schema = doc.get("schema")
     if schema != "pcap-metrics-v1":
-        sys.exit(f"{path}: unexpected metrics schema {schema!r}")
+        die(f"{path}: unexpected metrics schema {schema!r}")
     return doc["series"]
 
 
-def flatten(series_list):
-    """Map 'name{label=value,...}[/part]' -> scalar sample."""
+def flatten(series_list, path):
+    """Map 'name{label=value,...}[/part]' -> scalar sample.
+
+    Malformed series (missing name/labels/type or the fields their
+    type requires) are an input error: exit 2 naming the series and
+    the missing field rather than tracing back with a KeyError.
+    """
     samples = {}
-    for s in series_list:
-        labels = ",".join(f"{k}={v}"
-                          for k, v in sorted(s["labels"].items()))
-        key = f"{s['name']}{{{labels}}}"
-        kind = s["type"]
-        if kind in ("counter", "gauge"):
-            samples[key] = float(s["value"])
-        elif kind == "histogram":
-            samples[f"{key}/count"] = float(s["count"])
-            samples[f"{key}/sum"] = float(s["sum"])
-            for bucket in s["buckets"]:
-                samples[f"{key}/le={bucket['le']}"] = \
-                    float(bucket["count"])
-        elif kind == "timer":
-            samples[f"{key}/seconds"] = float(s["seconds"])
-            samples[f"{key}/laps"] = float(s["laps"])
-        else:
-            sys.exit(f"unknown series type {kind!r} for {key}")
+    for i, s in enumerate(series_list):
+        name = s.get("name", f"series #{i}")
+        try:
+            labels = ",".join(f"{k}={v}"
+                              for k, v in sorted(s["labels"].items()))
+            key = f"{s['name']}{{{labels}}}"
+            kind = s["type"]
+            if kind in ("counter", "gauge"):
+                samples[key] = float(s["value"])
+            elif kind == "histogram":
+                samples[f"{key}/count"] = float(s["count"])
+                samples[f"{key}/sum"] = float(s["sum"])
+                for bucket in s["buckets"]:
+                    samples[f"{key}/le={bucket['le']}"] = \
+                        float(bucket["count"])
+            elif kind == "timer":
+                samples[f"{key}/seconds"] = float(s["seconds"])
+                samples[f"{key}/laps"] = float(s["laps"])
+            else:
+                die(f"{path}: {name}: unknown series type {kind!r}")
+        except KeyError as err:
+            die(f"{path}: {name}: malformed series, missing field "
+                f"{err.args[0]!r}")
+        except (TypeError, ValueError) as err:
+            die(f"{path}: {name}: malformed series ({err})")
     return samples
 
 
@@ -113,11 +149,13 @@ def main():
                              "missing from the candidate")
     args = parser.parse_args()
 
-    base = flatten(load_series(args.base))
-    cand = flatten(load_series(args.candidate))
+    base = flatten(load_series(args.base), args.base)
+    cand = flatten(load_series(args.candidate), args.candidate)
     ignore = re.compile(args.ignore) if args.ignore else None
 
+    cand_families = {family(k) for k in cand}
     regressions = []
+    missing = []
     compared = ignored = 0
     for key in sorted(base):
         if ignore and ignore.search(key):
@@ -125,7 +163,7 @@ def main():
             continue
         if key not in cand:
             if not args.allow_missing:
-                regressions.append(f"MISSING  {key}")
+                missing.append(key)
             continue
         compared += 1
         limit = args.max_delta_pct
@@ -138,6 +176,25 @@ def main():
             regressions.append(
                 f"CHANGED  {key}: {base[key]:g} -> {cand[key]:g} "
                 f"({pct:.3f}% > {limit:g}%)")
+
+    # Group missing samples by metric family so a family that
+    # vanished wholesale (a subsystem stopped reporting) reads as one
+    # clear line instead of a wall of per-series noise.
+    by_family = {}
+    for key in missing:
+        by_family.setdefault(family(key), []).append(key)
+    for name in sorted(by_family):
+        keys = by_family[name]
+        if name not in cand_families:
+            regressions.append(
+                f"MISSING FAMILY  {name}: {len(keys)} series in "
+                f"{args.base} but the family is absent from "
+                f"{args.candidate}")
+        else:
+            for key in keys:
+                regressions.append(
+                    f"MISSING  {key}: present in {args.base}, "
+                    f"absent from {args.candidate}")
 
     new = sorted(k for k in cand if k not in base
                  and not (ignore and ignore.search(k)))
