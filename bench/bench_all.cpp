@@ -28,6 +28,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "reports.hpp"
+#include "sim/trace_store.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
@@ -264,6 +265,10 @@ main(int argc, char **argv)
     options.traceDir = trace_dir;
     options.provenanceDir = provenance_dir;
     options.metrics = use_metrics ? &registry : nullptr;
+    // Shared across the standard engine and every sweep engine the
+    // reports build (ablation_cache): raw traces are generated once
+    // per app, each configuration re-runs only the cache filter.
+    options.traceStore = std::make_shared<sim::TraceStore>();
 
     sim::ParallelEvaluation eval(bench::standardConfig(), options);
     bench::ReportContext ctx{

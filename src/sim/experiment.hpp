@@ -34,6 +34,9 @@
 
 namespace pcap::sim {
 
+struct Cell;
+class TraceStore;
+
 /** Configuration of a whole evaluation. */
 struct ExperimentConfig
 {
@@ -115,6 +118,18 @@ class EvaluationApi
 
     /** Figure 8 "Ideal": the oracle (cached). */
     virtual const RunResult &idealRun(const std::string &app) = 0;
+
+    /**
+     * Hint that @p cells are about to be queried: parallel
+     * implementations compute them across their worker pool so the
+     * subsequent accessor calls are cheap lookups. The serial
+     * default is a no-op — every cell is computed (and memoized) on
+     * first access anyway.
+     */
+    virtual void prefetchCells(const std::vector<Cell> &cells)
+    {
+        (void)cells;
+    }
 };
 
 /**
@@ -126,7 +141,15 @@ class EvaluationApi
 class Evaluation : public EvaluationApi
 {
   public:
-    explicit Evaluation(ExperimentConfig config = {});
+    /**
+     * @p traceStore optionally shares raw workload traces with
+     * other evaluations (see trace_store.hpp): an ablation sweep
+     * over cache or disk parameters generates each application's
+     * traces once and re-runs only the file-cache filter per
+     * configuration. Inputs are bit-identical either way.
+     */
+    explicit Evaluation(ExperimentConfig config = {},
+                        std::shared_ptr<TraceStore> traceStore = {});
 
     // Compatibility aliases: these used to be nested types.
     using Table1Row = sim::Table1Row;
@@ -164,6 +187,7 @@ class Evaluation : public EvaluationApi
   private:
     ExperimentConfig config_;
     std::vector<std::string> appNames_;
+    std::shared_ptr<TraceStore> traceStore_;
     std::map<std::string, std::vector<ExecutionInput>> inputs_;
     std::map<std::string, RunResult> baseRuns_;
     std::map<std::string, RunResult> idealRuns_;
@@ -224,6 +248,16 @@ struct ParallelOptions
      * evaluation.
      */
     obs::MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Shared raw-trace memo (see trace_store.hpp), or null to
+     * generate traces privately. Evaluations over different cache
+     * or disk configurations share one store so an ablation sweep
+     * generates each application's traces once; inputs are
+     * bit-identical either way because generation depends only on
+     * (seed, app, maxExecutions).
+     */
+    std::shared_ptr<TraceStore> traceStore;
 };
 
 /**
@@ -277,6 +311,11 @@ class ParallelEvaluation : public EvaluationApi
      * worker pool, then join. Duplicate cells cost nothing extra.
      */
     void prefetch(const std::vector<Cell> &cells);
+
+    void prefetchCells(const std::vector<Cell> &cells) override
+    {
+        prefetch(cells);
+    }
 
     /** Make every application's inputs resident, in parallel. */
     void prefetchInputs();

@@ -62,13 +62,19 @@ constexpr Pid kMergedStreamPid = -1;
  * per-stream). Tallies into AccuracyStats and emits one
  * IdlePeriodRecord per period to the observer — including Short
  * periods, which AccuracyStats ignores.
+ *
+ * When the observer is the shared NullObserver, classification runs
+ * a stats-only fast path: no IdlePeriodRecord is built and no
+ * virtual call is made per period. The tallies are identical either
+ * way, so results never depend on instrumentation.
  */
 class IdleSink
 {
   public:
     IdleSink(TimeUs breakeven, AccuracyStats &stats,
              SimObserver &observer)
-        : breakeven_(breakeven), stats_(stats), observer_(observer)
+        : breakeven_(breakeven), stats_(stats), observer_(observer),
+          instrumented_(&observer != &nullObserver())
     {
     }
 
@@ -83,14 +89,61 @@ class IdleSink
      *                    shutdown) counts as backup.
      */
     void classify(Pid pid, TimeUs gap_start, TimeUs gap_end,
-                  TimeUs shutdown_at, pred::DecisionSource source);
+                  TimeUs shutdown_at, pred::DecisionSource source)
+    {
+        const TimeUs gap = gap_end - gap_start;
+        const bool opportunity = gap > breakeven_;
+        if (opportunity)
+            ++stats_.opportunities;
+
+        if (shutdown_at >= 0) {
+            // A consent without a mechanism behind it (a process
+            // that never performed I/O holding the latest decision)
+            // counts as backup: no primary predictor claimed it.
+            const pred::DecisionSource effective =
+                source == pred::DecisionSource::None
+                    ? pred::DecisionSource::Backup
+                    : source;
+            const bool hit =
+                opportunity && gap_end - shutdown_at >= breakeven_;
+            if (hit)
+                stats_.recordHit(effective);
+            else
+                stats_.recordMiss(effective);
+            if (instrumented_) {
+                const bool primary =
+                    effective == pred::DecisionSource::Primary;
+                emit(pid, gap_start, gap_end, shutdown_at, effective,
+                     hit ? (primary ? IdleOutcome::HitPrimary
+                                    : IdleOutcome::HitBackup)
+                         : (primary ? IdleOutcome::MissPrimary
+                                    : IdleOutcome::MissBackup));
+            }
+        } else if (opportunity) {
+            ++stats_.notPredicted;
+            if (instrumented_) {
+                emit(pid, gap_start, gap_end, shutdown_at,
+                     pred::DecisionSource::None,
+                     IdleOutcome::NotPredicted);
+            }
+        } else if (instrumented_) {
+            emit(pid, gap_start, gap_end, shutdown_at,
+                 pred::DecisionSource::None, IdleOutcome::Short);
+        }
+    }
 
     TimeUs breakeven() const { return breakeven_; }
 
   private:
+    /** Instrumented tail: build the record, virtual-dispatch it. */
+    void emit(Pid pid, TimeUs gap_start, TimeUs gap_end,
+              TimeUs shutdown_at, pred::DecisionSource source,
+              IdleOutcome outcome);
+
     TimeUs breakeven_;
     AccuracyStats &stats_;
     SimObserver &observer_;
+    bool instrumented_;
 };
 
 /**
@@ -164,16 +217,40 @@ class PolicyDriver
 };
 
 /**
+ * Which replay loop SimulationKernel::runExecution uses. Both walk
+ * the same schedule in the same order and produce bit-identical
+ * RunResults and observer callback sequences (enforced by the
+ * KernelPathParity tests); Scalar exists as the readable reference
+ * the batched loop is checked against.
+ */
+enum class KernelPath {
+    Batched, ///< SoA batch loop, null-observer fast path (default)
+    Scalar,  ///< per-event loop over the AoS SimEvent schedule
+};
+
+/** Events per batch of the batched replay loop (and the unit of
+ * SimObserver::onBatchFlush notifications). */
+constexpr std::size_t kKernelBatchEvents = 256;
+
+/**
  * Replays executions against a driver, owning the disk model, the
  * merged-stream gap state machine and shutdown issuance. Results
  * are bit-identical to the historical per-mode loops.
+ *
+ * The default Batched path walks the ExecutionInput's SoA event
+ * arrays in kKernelBatchEvents-sized batches; when the attached
+ * observer is the shared NullObserver the whole replay is compiled
+ * with instrumentation statically off — no observer virtual calls,
+ * no IdlePeriodRecord construction, a disk model without
+ * notifications (<3 ns per classified period, see bench_overhead).
  */
 class SimulationKernel
 {
   public:
     explicit SimulationKernel(const SimParams &params,
-                              SimObserver &observer = nullObserver())
-        : params_(params), observer_(observer)
+                              SimObserver &observer = nullObserver(),
+                              KernelPath path = KernelPath::Batched)
+        : params_(params), observer_(observer), path_(path)
     {
     }
 
@@ -187,9 +264,23 @@ class SimulationKernel
 
     const SimParams &params() const { return params_; }
 
+    KernelPath path() const { return path_; }
+
   private:
+    /** The batched SoA loop; Instrumented compiles observer
+     * dispatch in or out (chosen once per execution, not per
+     * event). */
+    template <bool Instrumented>
+    RunResult runExecutionBatched(const ExecutionInput &input,
+                                  PolicyDriver &driver);
+
+    /** The historical per-event reference loop. */
+    RunResult runExecutionScalar(const ExecutionInput &input,
+                                 PolicyDriver &driver);
+
     SimParams params_;
     SimObserver &observer_;
+    KernelPath path_;
 };
 
 } // namespace pcap::sim

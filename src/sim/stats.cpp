@@ -13,22 +13,4 @@ AccuracyStats::merge(const AccuracyStats &other)
     notPredicted += other.notPredicted;
 }
 
-void
-AccuracyStats::recordHit(pred::DecisionSource source)
-{
-    if (source == pred::DecisionSource::Primary)
-        ++hitPrimary;
-    else
-        ++hitBackup;
-}
-
-void
-AccuracyStats::recordMiss(pred::DecisionSource source)
-{
-    if (source == pred::DecisionSource::Primary)
-        ++missPrimary;
-    else
-        ++missBackup;
-}
-
 } // namespace pcap::sim

@@ -70,9 +70,25 @@ struct AccuracyStats
     /** Fold another tally into this one. */
     void merge(const AccuracyStats &other);
 
-    /** Record one classified idle period. */
-    void recordHit(pred::DecisionSource source);
-    void recordMiss(pred::DecisionSource source);
+    /** Record one classified idle period. Inline: these sit on the
+     * kernel's per-period fast path (see IdleSink::classify). */
+    void
+    recordHit(pred::DecisionSource source)
+    {
+        if (source == pred::DecisionSource::Primary)
+            ++hitPrimary;
+        else
+            ++hitBackup;
+    }
+
+    void
+    recordMiss(pred::DecisionSource source)
+    {
+        if (source == pred::DecisionSource::Primary)
+            ++missPrimary;
+        else
+            ++missBackup;
+    }
 
   private:
     double

@@ -7,6 +7,10 @@
  *    bench/reference/BENCH_RESULTS.ref.json line for line.
  *  - Observer ordering: a scripted execution with hand-computable
  *    shutdowns must fire the callbacks in replay order.
+ *  - Kernel path parity: the batched SoA loop must match the scalar
+ *    reference loop — RunResult, observer callback sequence and
+ *    AccuracyStats reconciliation — for every registered policy and
+ *    every driver kind.
  *  - Policy registry: the names resolve, unknown names are rejected.
  *  - JSONL traces: per-idle-period records reconcile with the
  *    AccuracyStats the same run reports.
@@ -396,6 +400,199 @@ TEST(ObserverOrdering, HistogramBoundariesMustAscend)
     EXPECT_EXIT(
         IdleHistogramObserver({secondsUs(1.0), secondsUs(1.0)}),
         testing::ExitedWithCode(1), "ascending");
+}
+
+// ---------------------------------------------------------------
+// Kernel path parity: the batched SoA loop is checked against the
+// scalar reference loop — identical RunResults and identical
+// observer callback sequences for every registered policy and every
+// driver kind. onBatchFlush is batched-path bookkeeping, not replay
+// semantics, and is deliberately outside this contract (the
+// RecordingObserver does not record it).
+// ---------------------------------------------------------------
+
+void
+expectSameResult(const RunResult &a, const RunResult &b,
+                 const std::string &label)
+{
+    EXPECT_EQ(a.accuracy.opportunities, b.accuracy.opportunities)
+        << label;
+    EXPECT_EQ(a.accuracy.hitPrimary, b.accuracy.hitPrimary) << label;
+    EXPECT_EQ(a.accuracy.hitBackup, b.accuracy.hitBackup) << label;
+    EXPECT_EQ(a.accuracy.missPrimary, b.accuracy.missPrimary)
+        << label;
+    EXPECT_EQ(a.accuracy.missBackup, b.accuracy.missBackup) << label;
+    EXPECT_EQ(a.accuracy.notPredicted, b.accuracy.notPredicted)
+        << label;
+    using power::EnergyCategory;
+    for (EnergyCategory category :
+         {EnergyCategory::BusyIo, EnergyCategory::IdleShort,
+          EnergyCategory::IdleLong, EnergyCategory::PowerCycle})
+        EXPECT_DOUBLE_EQ(a.energy.get(category),
+                         b.energy.get(category))
+            << label;
+    EXPECT_EQ(a.shutdowns, b.shutdowns) << label;
+    EXPECT_EQ(a.spinUps, b.spinUps) << label;
+    EXPECT_EQ(a.ignoredShutdowns, b.ignoredShutdowns) << label;
+    EXPECT_EQ(a.totalSpinUpDelay, b.totalSpinUpDelay) << label;
+}
+
+void
+expectSameObservations(const RecordingObserver &a,
+                       const RecordingObserver &b,
+                       const std::string &label)
+{
+    EXPECT_EQ(a.events, b.events) << label;
+    ASSERT_EQ(a.records.size(), b.records.size()) << label;
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        const IdlePeriodRecord &ra = a.records[i];
+        const IdlePeriodRecord &rb = b.records[i];
+        EXPECT_EQ(ra.pid, rb.pid) << label << " record " << i;
+        EXPECT_EQ(ra.start, rb.start) << label << " record " << i;
+        EXPECT_EQ(ra.end, rb.end) << label << " record " << i;
+        EXPECT_EQ(ra.shutdownAt, rb.shutdownAt)
+            << label << " record " << i;
+        EXPECT_EQ(ra.source, rb.source) << label << " record " << i;
+        EXPECT_EQ(ra.outcome, rb.outcome) << label << " record " << i;
+    }
+}
+
+std::uint64_t
+countEvents(const std::vector<std::string> &events,
+            const std::string &needle)
+{
+    return static_cast<std::uint64_t>(
+        std::count(events.begin(), events.end(), needle));
+}
+
+/** Outcome counts in the recorded stream must reconcile with the
+ * AccuracyStats the same run reported. */
+void
+expectRecordsReconcile(const RecordingObserver &observer,
+                       const RunResult &result,
+                       const std::string &label)
+{
+    const AccuracyStats &stats = result.accuracy;
+    EXPECT_EQ(countEvents(observer.events, "idle:hit_primary"),
+              stats.hitPrimary)
+        << label;
+    EXPECT_EQ(countEvents(observer.events, "idle:hit_backup"),
+              stats.hitBackup)
+        << label;
+    EXPECT_EQ(countEvents(observer.events, "idle:miss_primary"),
+              stats.missPrimary)
+        << label;
+    EXPECT_EQ(countEvents(observer.events, "idle:miss_backup"),
+              stats.missBackup)
+        << label;
+    EXPECT_EQ(countEvents(observer.events, "idle:not_predicted"),
+              stats.notPredicted)
+        << label;
+    // Every idle period emits exactly one record; Short periods are
+    // recorded but never tallied.
+    EXPECT_EQ(observer.records.size(),
+              stats.hits() + stats.misses() + stats.notPredicted +
+                  countEvents(observer.events, "idle:short"))
+        << label;
+}
+
+/** Realistic multi-execution inputs: enough events to cross many
+ * kKernelBatchEvents boundaries, forks, and real idle structure. */
+const std::vector<ExecutionInput> &
+parityInputs()
+{
+    static Evaluation *eval = [] {
+        ExperimentConfig config;
+        config.maxExecutions = 2;
+        return new Evaluation(config);
+    }();
+    return eval->inputs("mozilla");
+}
+
+TEST(KernelPathParity, EveryPolicyGlobalReplayMatchesScalar)
+{
+    const std::vector<ExecutionInput> &inputs = parityInputs();
+    ASSERT_FALSE(inputs.empty());
+    std::size_t events = 0;
+    for (const ExecutionInput &input : inputs)
+        events += input.eventTimes().size();
+    ASSERT_GT(events, kKernelBatchEvents)
+        << "parity inputs must cross a batch boundary";
+
+    for (const std::string &name : policyNames()) {
+        RecordingObserver scalar_obs, batched_obs;
+        SimulationKernel scalar(SimParams{}, scalar_obs,
+                                KernelPath::Scalar);
+        SimulationKernel batched(SimParams{}, batched_obs,
+                                 KernelPath::Batched);
+        PolicySession scalar_session(policyByName(name));
+        PolicySession batched_session(policyByName(name));
+        GlobalDriver scalar_driver(scalar_session);
+        GlobalDriver batched_driver(batched_session);
+
+        const RunResult a = scalar.run(inputs, scalar_driver);
+        const RunResult b = batched.run(inputs, batched_driver);
+        expectSameResult(a, b, name);
+        expectSameObservations(scalar_obs, batched_obs, name);
+        expectRecordsReconcile(batched_obs, b, name);
+
+        // The uninstrumented batched fast path (compile-time null
+        // observer, notification-free disk) must produce the same
+        // RunResult as the instrumented scalar reference.
+        SimulationKernel fast{SimParams{}};
+        PolicySession fast_session(policyByName(name));
+        GlobalDriver fast_driver(fast_session);
+        const RunResult c = fast.run(inputs, fast_driver);
+        expectSameResult(a, c, name + " (uninstrumented)");
+    }
+}
+
+TEST(KernelPathParity, EveryDriverKindMatchesScalar)
+{
+    // One representative input set per replay order plus the tiny
+    // scripted execution (shorter than one batch: tail-only path).
+    std::vector<ExecutionInput> inputs = parityInputs();
+    inputs.push_back(scriptedInput());
+
+    const auto compare = [&](PolicyDriver &scalar_driver,
+                             PolicyDriver &batched_driver,
+                             const std::string &label) {
+        RecordingObserver scalar_obs, batched_obs;
+        SimulationKernel scalar(SimParams{}, scalar_obs,
+                                KernelPath::Scalar);
+        SimulationKernel batched(SimParams{}, batched_obs,
+                                 KernelPath::Batched);
+        const RunResult a = scalar.run(inputs, scalar_driver);
+        const RunResult b = batched.run(inputs, batched_driver);
+        expectSameResult(a, b, label);
+        expectSameObservations(scalar_obs, batched_obs, label);
+        expectRecordsReconcile(batched_obs, b, label);
+    };
+
+    {
+        PolicySession a(policyByName("PCAP"));
+        PolicySession b(policyByName("PCAP"));
+        LocalDriver scalar_driver(a), batched_driver(b);
+        compare(scalar_driver, batched_driver, "local/PCAP");
+    }
+    {
+        GlobalDriver::Options options;
+        options.multiState = true;
+        PolicySession a(policyByName("PCAPa"));
+        PolicySession b(policyByName("PCAPa"));
+        GlobalDriver scalar_driver(a, options);
+        GlobalDriver batched_driver(b, options);
+        compare(scalar_driver, batched_driver,
+                "global-multistate/PCAPa");
+    }
+    {
+        BaseDriver scalar_driver, batched_driver;
+        compare(scalar_driver, batched_driver, "base");
+    }
+    {
+        OracleDriver scalar_driver, batched_driver;
+        compare(scalar_driver, batched_driver, "oracle");
+    }
 }
 
 // ---------------------------------------------------------------

@@ -14,6 +14,12 @@ block are machine- and run-dependent, so they are ignored here (use
 tools/metrics_diff.py to compare metrics); however, the candidate is
 required to *carry* a metrics block unless --allow-missing-metrics
 is given, so an instrumentation regression cannot slip through.
+
+--max-report-seconds NAME=SECONDS (repeatable) additionally budgets
+the candidate's wall time for one report (timings_ms.reports.NAME).
+A blown budget is an error by default; with --timing-warn-only it
+only warns -- use that on shared/noisy runners (CI) where wall time
+is advisory, and the strict form when benchmarking locally.
 """
 
 import argparse
@@ -71,6 +77,43 @@ def check_metrics(got, errors):
         errors.append("candidate metrics block has no series")
 
 
+def parse_budget(text):
+    name, sep, seconds = text.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"budget must look like NAME=SECONDS, got {text!r}")
+    try:
+        value = float(seconds)
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(
+            f"bad budget {text!r}: {err}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"budget {text!r} must be positive")
+    return name, value
+
+
+def check_budgets(got, budgets, warn_only, errors):
+    """Candidate report wall times against their budgets."""
+    timings = got.get("timings_ms", {}).get("reports", {})
+    for name, seconds in budgets:
+        if name not in timings:
+            errors.append(f"timing budget for '{name}': report has "
+                          f"no timing in candidate")
+            continue
+        spent = timings[name] / 1000.0
+        if spent <= seconds:
+            print(f"timing ok: {name} {spent:.3f}s "
+                  f"<= budget {seconds:g}s")
+            continue
+        message = (f"timing budget blown: {name} took {spent:.3f}s "
+                   f"> budget {seconds:g}s")
+        if warn_only:
+            print(f"WARNING: {message}")
+        else:
+            errors.append(message)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("reference")
@@ -81,6 +124,14 @@ def main():
     parser.add_argument("--allow-missing-metrics", action="store_true",
                         help="don't require the candidate to carry a "
                              "metrics block")
+    parser.add_argument("--max-report-seconds", type=parse_budget,
+                        action="append", default=[],
+                        metavar="NAME=SECONDS",
+                        help="wall-time budget for one candidate "
+                             "report (repeatable)")
+    parser.add_argument("--timing-warn-only", action="store_true",
+                        help="blown timing budgets warn instead of "
+                             "failing (shared/noisy runners)")
     args = parser.parse_args()
 
     with open(args.reference) as f:
@@ -97,6 +148,8 @@ def main():
 
     if not args.allow_missing_metrics:
         check_metrics(got, errors)
+    check_budgets(got, args.max_report_seconds,
+                  args.timing_warn_only, errors)
 
     ref_reports = ref.get("reports", {})
     got_reports = got.get("reports", {})

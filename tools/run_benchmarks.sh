@@ -6,7 +6,10 @@
 #   1. every report byte-identical to bench/reference (compare_bench)
 #   2. two warm runs produce identical deterministic metrics
 #      (metrics_diff, zero regressions allowed)
-#   3. a timestamped BENCH_PR3.json (+ .prom + manifest) lands at the
+#   3. the ablation_cache report is checked against its wall-time
+#      budget (warn-only: the 0.15 s target assumes the sweep's six
+#      evaluations overlap on a multicore machine)
+#   4. a timestamped BENCH_PR6.json (+ .prom + manifest) lands at the
 #      repo root as the artifact of record for this revision.
 #
 # Usage: tools/run_benchmarks.sh [jobs]
@@ -57,7 +60,8 @@ echo
 echo "== compare against bench/reference/BENCH_RESULTS.ref.json =="
 python3 "$root/tools/compare_bench.py" \
     "$root/bench/reference/BENCH_RESULTS.ref.json" \
-    "$scratch/warm.json"
+    "$scratch/warm.json" \
+    --max-report-seconds ablation_cache=0.15 --timing-warn-only
 
 echo
 echo "== metrics determinism (warm run vs warm run) =="
@@ -65,8 +69,8 @@ python3 "$root/tools/metrics_diff.py" \
     "$scratch/warm.json" "$scratch/warm2.json"
 
 echo
-echo "== publish BENCH_PR3.json =="
-cp "$scratch/warm.json" "$root/BENCH_PR3.json"
-cp "$scratch/warm.prom" "$root/BENCH_PR3.prom"
-cp "$scratch/warm.manifest.json" "$root/BENCH_PR3.manifest.json"
-echo "wrote $root/BENCH_PR3.json (+ .prom, .manifest.json)"
+echo "== publish BENCH_PR6.json =="
+cp "$scratch/warm.json" "$root/BENCH_PR6.json"
+cp "$scratch/warm.prom" "$root/BENCH_PR6.prom"
+cp "$scratch/warm.manifest.json" "$root/BENCH_PR6.manifest.json"
+echo "wrote $root/BENCH_PR6.json (+ .prom, .manifest.json)"
