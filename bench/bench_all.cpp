@@ -28,6 +28,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "reports.hpp"
+#include "sim/cell_store.hpp"
 #include "sim/trace_store.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
@@ -64,6 +65,10 @@ usage(std::ostream &os)
           "run\n"
           "                    (opt-in reports, e.g. idle_histogram, "
           "run only when named)\n"
+          "      --report NAMES  alias of --only\n"
+          "      --hosts N     fleet size for the opt-in fleet "
+          "report\n"
+          "                    (default: 128; see --report fleet)\n"
           "      --trace-dir P write one per-idle-period JSONL "
           "trace per\n"
           "                    simulation cell into directory P\n"
@@ -155,6 +160,8 @@ main(int argc, char **argv)
     std::string metrics_path;
     std::string manifest_path;
     std::vector<std::string> only;
+    std::uint64_t fleet_hosts = 128;
+    bool fleet_hosts_given = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -225,18 +232,44 @@ main(int argc, char **argv)
                 return 2;
             }
             setLogLevel(*level);
-        } else if (arg == "--only") {
-            std::istringstream names(value("--only"));
+        } else if (arg == "--only" || arg == "--report") {
+            std::istringstream names(value(arg.c_str()));
             std::string name;
             const std::size_t before = only.size();
             while (std::getline(names, name, ','))
                 if (!name.empty())
                     only.push_back(name);
             if (only.size() == before) {
-                error("--only needs at least one report name "
-                      "(see --list)");
+                error(arg + " needs at least one report name "
+                            "(see --list)");
                 return 2;
             }
+        } else if (arg == "--hosts") {
+            const std::string text = value("--hosts");
+            // Same digits-only discipline as --jobs; the bound only
+            // guards against typos, fleets are O(1) memory anyway.
+            std::size_t used = 0;
+            unsigned long long parsed = 0;
+            const bool digits =
+                !text.empty() &&
+                text.find_first_not_of("0123456789") ==
+                    std::string::npos;
+            if (digits) {
+                try {
+                    parsed = std::stoull(text, &used);
+                } catch (const std::exception &) {
+                    used = 0;
+                }
+            }
+            if (!digits || used != text.size() || parsed == 0 ||
+                parsed > 100000000ull) {
+                error("--hosts needs an integer in [1, 1e8], "
+                      "got '" +
+                      text + "'");
+                return 2;
+            }
+            fleet_hosts = parsed;
+            fleet_hosts_given = true;
         } else {
             error("unknown option: " + arg);
             usage(std::cerr);
@@ -269,13 +302,25 @@ main(int argc, char **argv)
     // reports build (ablation_cache): raw traces are generated once
     // per app, each configuration re-runs only the cache filter.
     options.traceStore = std::make_shared<sim::TraceStore>();
+    // And finished cells: engines over an identical (config,
+    // policy) pair replay each cell once between them.
+    options.cellStore = std::make_shared<sim::CellStore>();
+    if (use_metrics)
+        options.traceStore->bindBytesGauge(
+            &registry.gauge("pcap_trace_store_bytes"));
 
     sim::ParallelEvaluation eval(bench::standardConfig(), options);
+    Json fleet_json;
     bench::ReportContext ctx{
         eval, [&options](const sim::ExperimentConfig &config) {
             return std::unique_ptr<sim::EvaluationApi>(
                 new sim::ParallelEvaluation(config, options));
         }};
+    ctx.fleet.hosts = fleet_hosts;
+    ctx.fleet.jobs = options.jobs;
+    ctx.fleet.metrics = options.metrics;
+    ctx.fleetJson = &fleet_json;
+    ctx.traceStore = options.traceStore.get();
 
     std::vector<const bench::Report *> selected;
     for (const auto &report : bench::allReports()) {
@@ -291,23 +336,34 @@ main(int argc, char **argv)
         error("no matching reports (see --list)");
         return 2;
     }
+    bool fleet_selected = false;
+    for (const bench::Report *report : selected)
+        fleet_selected = fleet_selected || report->name == "fleet";
+    if (fleet_hosts_given && !fleet_selected)
+        warn("--hosts only affects the fleet report "
+             "(--report fleet)");
 
     const Clock::time_point total_start = Clock::now();
 
     // Phase 1: make every needed workload resident (cache or
     // generation), then fan the union of simulation cells across
     // the pool — reports afterwards only format memoized results.
-    const Clock::time_point inputs_start = Clock::now();
-    eval.prefetchInputs();
-    const double inputs_ms = msSince(inputs_start);
-
-    const Clock::time_point cells_start = Clock::now();
+    // A selection that queries no shared-engine cells (e.g.
+    // `--report fleet`, which streams its own workload) skips the
+    // materialization entirely, keeping peak memory bounded.
     std::vector<sim::Cell> cells;
     for (const bench::Report *report : selected) {
         const std::vector<sim::Cell> report_cells = report->cells();
         cells.insert(cells.end(), report_cells.begin(),
                      report_cells.end());
     }
+
+    const Clock::time_point inputs_start = Clock::now();
+    if (!cells.empty())
+        eval.prefetchInputs();
+    const double inputs_ms = msSince(inputs_start);
+
+    const Clock::time_point cells_start = Clock::now();
     eval.prefetch(cells);
     const double cells_ms = msSince(cells_start);
 
@@ -385,6 +441,8 @@ main(int argc, char **argv)
         timings["total"] = total_ms;
         timings["reports"] = std::move(timing_json);
         root["reports"] = std::move(report_json);
+        if (fleet_selected)
+            root["fleet"] = std::move(fleet_json);
         if (use_metrics)
             root["metrics"] = obs::metricsToJson(registry);
 
@@ -424,6 +482,8 @@ main(int argc, char **argv)
         manifest.seed = bench::kBenchSeed;
         manifest.jobs = options.jobs;
         manifest.maxExecutions = eval.config().maxExecutions;
+        if (fleet_selected)
+            manifest.fleetHosts = fleet_hosts;
         manifest.workloadCacheEnabled =
             eval.workloadCache().enabled();
         manifest.workloadCacheDir = eval.workloadCache().directory();

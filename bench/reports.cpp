@@ -4,12 +4,15 @@
 #include <ostream>
 
 #include <iomanip>
+#include <optional>
 #include <sstream>
 
 #include "obs/provenance.hpp"
 #include "power/disk_params.hpp"
 #include "sim/drivers.hpp"
+#include "sim/fleet.hpp"
 #include "sim/trace_store.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 #include "util/table.hpp"
@@ -717,6 +720,14 @@ reportAblationCache(ReportContext &ctx, std::ostream &os)
            "Larger caches absorb more traffic: fewer disk "
            "accesses, fewer but longer idle periods.");
 
+    // The raw traces the sweep shares stay resident only while this
+    // report runs. The scope spans the whole function — serial
+    // engines skip the prefetch and compute inside the render loop
+    // below — and on close the store drops every published entry.
+    std::optional<sim::TraceStore::Retention> retention;
+    if (ctx.traceStore)
+        retention.emplace(*ctx.traceStore);
+
     TextTable table;
     table.setHeader({"cache", "disk accesses", "global periods",
                      "PCAP hit", "PCAP miss", "PCAP saved"});
@@ -1135,6 +1146,103 @@ reportSignatureAttribution(ReportContext &ctx, std::ostream &os)
        << " (all applications, all executions)\n";
 }
 
+// -- Fleet: streaming host cells (opt-in) ----------------------
+
+void
+reportFleet(ReportContext &ctx, std::ostream &os)
+{
+    header(os, "Fleet: streaming host cells",
+           "N independent power-managed hosts, each a seeded "
+           "variation of the paper's workloads, replayed "
+           "generate-replay-discard: peak memory is bounded no "
+           "matter the fleet size. Percentiles are across hosts.");
+
+    workload::FleetConfig fleet;
+    fleet.fleetSeed = ctx.fleet.seed;
+    fleet.hosts = ctx.fleet.hosts;
+    fleet.maxAppsPerHost = 3;
+    fleet.executionsMin = 4;
+    fleet.executionsMax = 12;
+    fleet.minThinkScale = 0.5;
+    fleet.maxThinkScale = 2.0;
+
+    const std::vector<sim::PolicyConfig> policies =
+        policiesByName({"TP", "PCAP"});
+
+    const sim::ExperimentConfig config = standardConfig();
+    sim::FleetOptions options;
+    options.jobs = ctx.fleet.jobs;
+    options.metrics = ctx.fleet.metrics;
+    sim::FleetDriver driver(fleet, config.sim, config.cache,
+                            options);
+    const sim::FleetReport report = driver.run(policies);
+
+    os << "hosts:              " << report.hosts << "\n"
+       << "executions:         " << report.executions << "\n"
+       << "disk accesses:      " << report.accesses << "\n"
+       << "idle opportunities: " << report.opportunities << "\n"
+       << "base energy (J):    p50 "
+       << fixedString(report.baseEnergyJ.p50, 1) << "  p90 "
+       << fixedString(report.baseEnergyJ.p90, 1) << "  p99 "
+       << fixedString(report.baseEnergyJ.p99, 1) << "  mean "
+       << fixedString(report.meanBaseEnergyJ, 1) << "\n\n";
+
+    TextTable table;
+    table.setHeader({"policy", "saved p50", "saved p90",
+                     "saved p99", "energy p50 (J)", "hit p50",
+                     "miss p50", "shutdowns", "spin-ups"});
+    for (const auto &policy : report.policies) {
+        table.addRow({policy.policy,
+                      percentString(policy.savedFraction.p50),
+                      percentString(policy.savedFraction.p90),
+                      percentString(policy.savedFraction.p99),
+                      fixedString(policy.energyJ.p50, 1),
+                      percentString(policy.hitFraction.p50),
+                      percentString(policy.missFraction.p50),
+                      std::to_string(policy.shutdowns),
+                      std::to_string(policy.spinUps)});
+    }
+    table.print(os);
+
+    if (!ctx.fleetJson)
+        return;
+    auto percentilesJson = [](const sim::FleetPercentiles &p) {
+        Json json = Json::object();
+        json["p50"] = p.p50;
+        json["p90"] = p.p90;
+        json["p99"] = p.p99;
+        return json;
+    };
+    Json &root = *ctx.fleetJson;
+    root = Json::object();
+    root["schema"] = "pcap-fleet-v1";
+    root["hosts"] = report.hosts;
+    root["fleet_seed"] = ctx.fleet.seed;
+    root["executions"] = report.executions;
+    root["accesses"] = report.accesses;
+    root["opportunities"] = report.opportunities;
+    root["base_energy_j"] = percentilesJson(report.baseEnergyJ);
+    root["mean_base_energy_j"] = report.meanBaseEnergyJ;
+    Json &policiesJson = root["policies"];
+    policiesJson = Json::array();
+    for (const auto &policy : report.policies) {
+        Json entry = Json::object();
+        entry["policy"] = policy.policy;
+        entry["energy_j"] = percentilesJson(policy.energyJ);
+        entry["saved_fraction"] =
+            percentilesJson(policy.savedFraction);
+        entry["hit_fraction"] =
+            percentilesJson(policy.hitFraction);
+        entry["miss_fraction"] =
+            percentilesJson(policy.missFraction);
+        entry["mean_energy_j"] = policy.meanEnergyJ;
+        entry["mean_saved_fraction"] = policy.meanSavedFraction;
+        entry["shutdowns"] = policy.shutdowns;
+        entry["spin_ups"] = policy.spinUps;
+        policiesJson.push(std::move(entry));
+    }
+}
+
 } // namespace
 
 double
@@ -1179,6 +1287,10 @@ allReports()
          /*optIn=*/true},
         {"signature_attribution", "", reportSignatureAttribution,
          cellsNone, /*optIn=*/true},
+        // Opt-in: streaming fleet simulation — does not query the
+        // shared engine at all, so `--only fleet` never
+        // materializes the six-app workload.
+        {"fleet", "", reportFleet, cellsNone, /*optIn=*/true},
     };
     return kReports;
 }
@@ -1199,6 +1311,7 @@ runReportStandalone(const std::string &name)
                 return std::unique_ptr<sim::EvaluationApi>(
                     new sim::Evaluation(config, store));
             }};
+        ctx.traceStore = store.get();
         report.run(ctx, std::cout);
         return 0;
     }

@@ -24,6 +24,10 @@
 
 #include "sim/experiment.hpp"
 
+namespace pcap {
+class Json;
+}
+
 namespace pcap::bench {
 
 /** The fixed seed all benches share (numbers must be reproducible). */
@@ -49,6 +53,15 @@ double averageOf(const std::vector<double> &values);
 using EvalFactory = std::function<std::unique_ptr<sim::EvaluationApi>(
     const sim::ExperimentConfig &)>;
 
+/** Settings of the opt-in fleet report (see reportFleet). */
+struct FleetSettings
+{
+    std::uint64_t hosts = 128; ///< --hosts
+    std::uint64_t seed = kBenchSeed;
+    unsigned jobs = 1; ///< host-cell sharding width
+    obs::MetricsRegistry *metrics = nullptr;
+};
+
 /** Everything a report needs to render. */
 struct ReportContext
 {
@@ -57,6 +70,20 @@ struct ReportContext
 
     /** Factory for engines with other configs. */
     EvalFactory makeEval;
+
+    /** Fleet-report knobs (defaults match the CI smoke run). */
+    FleetSettings fleet{};
+
+    /** When non-null, the fleet report fills this with its
+     * machine-readable pcap-fleet-v1 block. */
+    Json *fleetJson = nullptr;
+
+    /**
+     * The run's shared trace store, or null. Reports that build
+     * sweep engines open a TraceStore::Retention on it so the raw
+     * traces they share are dropped once the sweep finishes.
+     */
+    sim::TraceStore *traceStore = nullptr;
 };
 
 /** One table/figure of the evaluation suite. */

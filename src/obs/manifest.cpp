@@ -20,6 +20,8 @@ RunManifest::toJson() const
     config["seed"] = seed;
     config["jobs"] = jobs;
     config["max_executions"] = maxExecutions;
+    if (fleetHosts)
+        config["fleet_hosts"] = fleetHosts;
 
     Json &cache = root["workload_cache"];
     cache = Json::object();

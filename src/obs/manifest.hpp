@@ -35,6 +35,10 @@ struct RunManifest
     unsigned jobs = 0;
     int maxExecutions = 0;
 
+    /** Fleet size of the run's fleet report; 0 when the fleet
+     * report was not selected (the field is then omitted). */
+    std::uint64_t fleetHosts = 0;
+
     bool workloadCacheEnabled = false;
     std::string workloadCacheDir;
 

@@ -1,0 +1,51 @@
+#include "sim/cell_store.hpp"
+
+namespace pcap::sim {
+
+template <typename T>
+T
+CellStore::memoized(
+    std::map<std::string, std::shared_ptr<Memo<T>>> &map,
+    const std::string &key, const std::function<T()> &compute)
+{
+    std::shared_ptr<Memo<T>> memo;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &entry = map[key];
+        if (!entry)
+            entry = std::make_shared<Memo<T>>();
+        memo = entry;
+    }
+    bool mine = false;
+    std::call_once(memo->once, [&] {
+        memo->value = compute();
+        mine = true;
+        computed_.fetch_add(1, std::memory_order_relaxed);
+    });
+    if (!mine)
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    return memo->value;
+}
+
+AccuracyStats
+CellStore::localAccuracy(const std::string &key,
+                         const std::function<AccuracyStats()> &compute)
+{
+    return memoized(locals_, key, compute);
+}
+
+GlobalOutcome
+CellStore::globalOutcome(const std::string &key,
+                         const std::function<GlobalOutcome()> &compute)
+{
+    return memoized(globals_, key, compute);
+}
+
+RunResult
+CellStore::runResult(const std::string &key,
+                     const std::function<RunResult()> &compute)
+{
+    return memoized(runs_, key, compute);
+}
+
+} // namespace pcap::sim

@@ -36,6 +36,7 @@ namespace pcap::sim {
 
 struct Cell;
 class TraceStore;
+class CellStore;
 
 /** Configuration of a whole evaluation. */
 struct ExperimentConfig
@@ -258,6 +259,17 @@ struct ParallelOptions
      * (seed, app, maxExecutions).
      */
     std::shared_ptr<TraceStore> traceStore;
+
+    /**
+     * Shared finished-cell memo (see cell_store.hpp), or null to
+     * compute cells privately. Engines over an *identical* config
+     * then replay each (mode, app, policy) cell once between them —
+     * the keys embed the full canonical config string, so distinct
+     * configurations never collide. Ignored while traceDir or
+     * provenanceDir is set: a store hit skips the replay and with it
+     * the cell's file artifacts, which those options promise.
+     */
+    std::shared_ptr<CellStore> cellStore;
 };
 
 /**
@@ -378,13 +390,20 @@ class ParallelEvaluation : public EvaluationApi
     /** Scope labelled {config, app} for input-level metrics. */
     obs::ScopedMetrics appScope(const std::string &app) const;
 
+    /** True when results may round-trip through the shared
+     * CellStore (attached, and no per-cell file artifacts). */
+    bool cellStoreUsable() const;
+
     ExperimentConfig config_;
     ParallelOptions options_;
     std::vector<std::string> appNames_;
     WorkloadCache cache_;
-    /** 16-hex digest of every config field that can alter results —
-     * the "config" label value separating ablation evaluations from
-     * the paper-default one in the shared registry. */
+    /** Canonical serialization of every config field that can alter
+     * results — the CellStore key prefix. */
+    std::string configKey_;
+    /** 16-hex digest of configKey_ — the "config" label value
+     * separating ablation evaluations from the paper-default one in
+     * the shared registry. */
     std::string configHash_;
 
     std::mutex mutex_; ///< guards the maps below (not the memos)

@@ -1,0 +1,230 @@
+#include "sim/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "sim/drivers.hpp"
+#include "sim/execution_source.hpp"
+#include "sim/experiment.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pcap::sim {
+
+namespace {
+
+/** 16-hex policy hash, matching ParallelEvaluation's label style. */
+std::string
+policyHashLabel(const PolicyConfig &policy)
+{
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0')
+       << hashString(policyCacheKey(policy));
+    return os.str();
+}
+
+} // namespace
+
+FleetPercentiles
+percentilesOf(std::vector<double> values)
+{
+    FleetPercentiles result;
+    if (values.empty())
+        return result;
+    std::sort(values.begin(), values.end());
+    const auto n = values.size();
+    auto rank = [&](double q) {
+        // Nearest-rank: the smallest value with at least q of the
+        // distribution at or below it. Integer-exact, so fleet
+        // reports never depend on interpolation rounding.
+        std::size_t index = static_cast<std::size_t>(
+            std::ceil(q * static_cast<double>(n)));
+        if (index > 0)
+            --index;
+        return values[std::min(index, n - 1)];
+    };
+    result.p50 = rank(0.50);
+    result.p90 = rank(0.90);
+    result.p99 = rank(0.99);
+    return result;
+}
+
+FleetDriver::FleetDriver(workload::FleetConfig fleet, SimParams sim,
+                         cache::CacheParams cacheParams,
+                         FleetOptions options)
+    : fleet_(std::move(fleet)), sim_(sim),
+      cacheParams_(cacheParams), options_(options)
+{
+    if (options_.jobs == 0)
+        options_.jobs = ThreadPool::hardwareJobs();
+}
+
+HostCellResult
+FleetDriver::runHost(const workload::HostProfile &profile,
+                     const std::vector<PolicyConfig> &policies) const
+{
+    HostCellResult cell;
+    cell.host = profile.host;
+    cell.thinkTimeScale = profile.thinkTimeScale;
+    cell.policyRuns.resize(policies.size());
+    cell.tableEntries.resize(policies.size());
+
+    // The cell owns all learned state: one session + driver per
+    // policy, living across the host's whole execution stream (the
+    // kernel itself is stateless between executions). deques: the
+    // drivers hold references into sessions, so neither may relocate.
+    std::deque<PolicySession> sessions;
+    std::deque<GlobalDriver> drivers;
+    for (const PolicyConfig &policy : policies) {
+        sessions.emplace_back(policy);
+        drivers.emplace_back(sessions.back());
+    }
+    BaseDriver base;
+    SimulationKernel kernel(sim_); // null observer: the fast path
+
+    HostExecutionSource source(profile, cacheParams_);
+    while (const ExecutionInput *input = source.next()) {
+        ++cell.executions;
+        cell.accesses += input->accesses.size();
+        for (std::size_t p = 0; p < policies.size(); ++p)
+            cell.policyRuns[p].merge(
+                kernel.runExecution(*input, drivers[p]));
+        cell.base.merge(kernel.runExecution(*input, base));
+    }
+    for (std::size_t p = 0; p < policies.size(); ++p)
+        cell.tableEntries[p] = sessions[p].tableEntries();
+    return cell;
+}
+
+FleetReport
+FleetDriver::run(const std::vector<PolicyConfig> &policies) const
+{
+    const auto hosts = static_cast<std::size_t>(fleet_.hosts);
+
+    // Positional sharding: worker i writes only cells[i], so the
+    // result is identical for every thread count.
+    std::vector<HostCellResult> cells(hosts);
+    pcap::parallelFor(options_.jobs, hosts, [&](std::size_t i) {
+        cells[i] = runHost(
+            workload::hostProfile(fleet_,
+                                  static_cast<std::uint64_t>(i)),
+            policies);
+    });
+
+    FleetReport report;
+    report.hosts = fleet_.hosts;
+
+    std::vector<double> baseEnergy;
+    baseEnergy.reserve(hosts);
+    for (const HostCellResult &cell : cells) {
+        report.executions += cell.executions;
+        report.accesses += cell.accesses;
+        // Idle opportunities are a property of the host's access
+        // stream, identical across drivers; count them once, from
+        // the baseline run.
+        report.opportunities += cell.base.accuracy.opportunities;
+        baseEnergy.push_back(cell.base.energy.total());
+    }
+    double baseTotal = 0.0;
+    for (double j : baseEnergy)
+        baseTotal += j;
+    report.baseEnergyJ = percentilesOf(baseEnergy);
+    report.meanBaseEnergyJ =
+        hosts ? baseTotal / static_cast<double>(hosts) : 0.0;
+
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        FleetPolicyReport policyReport;
+        policyReport.policy = policies[p].label;
+        std::vector<double> energy, saved, hit, miss;
+        energy.reserve(hosts);
+        saved.reserve(hosts);
+        hit.reserve(hosts);
+        miss.reserve(hosts);
+        double energyTotal = 0.0, savedTotal = 0.0;
+        for (const HostCellResult &cell : cells) {
+            const RunResult &run = cell.policyRuns[p];
+            const double joules = run.energy.total();
+            const double baseJoules = cell.base.energy.total();
+            const double savedFraction =
+                baseJoules > 0.0 ? 1.0 - joules / baseJoules : 0.0;
+            energy.push_back(joules);
+            saved.push_back(savedFraction);
+            hit.push_back(run.accuracy.hitFraction());
+            miss.push_back(run.accuracy.missFraction());
+            energyTotal += joules;
+            savedTotal += savedFraction;
+            policyReport.shutdowns += run.shutdowns;
+            policyReport.spinUps += run.spinUps;
+        }
+        policyReport.energyJ = percentilesOf(std::move(energy));
+        policyReport.savedFraction =
+            percentilesOf(std::move(saved));
+        policyReport.hitFraction = percentilesOf(std::move(hit));
+        policyReport.missFraction = percentilesOf(std::move(miss));
+        policyReport.meanEnergyJ =
+            hosts ? energyTotal / static_cast<double>(hosts) : 0.0;
+        policyReport.meanSavedFraction =
+            hosts ? savedTotal / static_cast<double>(hosts) : 0.0;
+        report.policies.push_back(std::move(policyReport));
+    }
+
+    if (options_.keepHostResults)
+        report.hostResults = std::move(cells);
+
+    recordMetrics(report, policies);
+    return report;
+}
+
+void
+FleetDriver::recordMetrics(
+    const FleetReport &report,
+    const std::vector<PolicyConfig> &policies) const
+{
+    if (!options_.metrics)
+        return;
+    // Recorded post-aggregation on the calling thread: series values
+    // are deterministic for every thread count.
+    obs::ScopedMetrics scope(options_.metrics, {{"mode", "fleet"}});
+    scope.gauge("pcap_fleet_hosts")
+        .set(static_cast<double>(report.hosts));
+    scope.counter("pcap_fleet_executions_total")
+        .inc(report.executions);
+    scope.counter("pcap_fleet_disk_accesses_total")
+        .inc(report.accesses);
+    scope.counter("pcap_fleet_idle_opportunities_total")
+        .inc(report.opportunities);
+
+    auto quantiles = [](const obs::ScopedMetrics &where,
+                        const std::string &name,
+                        const FleetPercentiles &p) {
+        where.gauge(name, {{"quantile", "0.5"}}).set(p.p50);
+        where.gauge(name, {{"quantile", "0.9"}}).set(p.p90);
+        where.gauge(name, {{"quantile", "0.99"}}).set(p.p99);
+    };
+    quantiles(scope.with({{"policy", "base"}}),
+              "pcap_fleet_energy_joules", report.baseEnergyJ);
+
+    for (std::size_t p = 0; p < report.policies.size(); ++p) {
+        const FleetPolicyReport &policy = report.policies[p];
+        const obs::ScopedMetrics policyScope = scope.with(
+            {{"policy", policy.policy},
+             {"policy_hash", policyHashLabel(policies[p])}});
+        quantiles(policyScope, "pcap_fleet_energy_joules",
+                  policy.energyJ);
+        quantiles(policyScope, "pcap_fleet_saved_fraction",
+                  policy.savedFraction);
+        quantiles(policyScope, "pcap_fleet_hit_fraction",
+                  policy.hitFraction);
+        quantiles(policyScope, "pcap_fleet_miss_fraction",
+                  policy.missFraction);
+        policyScope.counter("pcap_fleet_shutdowns_total")
+            .inc(policy.shutdowns);
+        policyScope.counter("pcap_fleet_spin_ups_total")
+            .inc(policy.spinUps);
+    }
+}
+
+} // namespace pcap::sim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Fleet driver: N independent power-managed host cells, streamed.
+ *
+ * Each host cell owns its full simulation state — a kernel, one
+ * PolicySession + GlobalDriver per evaluated policy, and the
+ * no-power-management baseline — and replays its HostProfile's
+ * workload through a HostExecutionSource: traces are generated,
+ * filtered, replayed and discarded one execution at a time, so peak
+ * memory is O(jobs) ExecutionInputs plus O(hosts) small summaries no
+ * matter the fleet size.
+ *
+ * Host cells shard across the PR1 ThreadPool positionally (worker i
+ * writes only slot i), so fleet results are bit-identical for every
+ * thread count. The headline output is the across-hosts distribution
+ * — energy and accuracy percentiles — rather than the paper's
+ * per-app means.
+ */
+
+#ifndef PCAP_SIM_FLEET_HPP
+#define PCAP_SIM_FLEET_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/kernel.hpp"
+#include "sim/policy.hpp"
+#include "workload/host_profile.hpp"
+
+namespace pcap::sim {
+
+/** Nearest-rank percentiles of a per-host distribution. */
+struct FleetPercentiles
+{
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+};
+
+/** Nearest-rank percentiles (p50/p90/p99) of @p values; all zeros
+ * for an empty vector. Sorts a copy — deterministic by construction. */
+FleetPercentiles percentilesOf(std::vector<double> values);
+
+/** Everything one host cell produced. */
+struct HostCellResult
+{
+    std::uint64_t host = 0;
+    std::uint64_t executions = 0;
+    std::uint64_t accesses = 0; ///< post-cache disk accesses replayed
+    double thinkTimeScale = 1.0;
+
+    RunResult base; ///< no power management (the energy baseline)
+
+    /** One merged run per evaluated policy, in request order. */
+    std::vector<RunResult> policyRuns;
+
+    /** Learned-state size per policy after the host's last
+     * execution, parallel to policyRuns. */
+    std::vector<std::size_t> tableEntries;
+};
+
+/** Across-hosts aggregate of one policy. */
+struct FleetPolicyReport
+{
+    std::string policy;
+
+    FleetPercentiles energyJ;       ///< per-host total energy
+    FleetPercentiles savedFraction; ///< 1 - energy/base, per host
+    FleetPercentiles hitFraction;
+    FleetPercentiles missFraction;
+
+    double meanEnergyJ = 0.0;
+    double meanSavedFraction = 0.0;
+
+    std::uint64_t shutdowns = 0; ///< fleet total
+    std::uint64_t spinUps = 0;   ///< fleet total
+};
+
+/** The fleet run's aggregate output. */
+struct FleetReport
+{
+    std::uint64_t hosts = 0;
+    std::uint64_t executions = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t opportunities = 0; ///< breakeven-exceeding periods
+
+    FleetPercentiles baseEnergyJ;
+    double meanBaseEnergyJ = 0.0;
+
+    std::vector<FleetPolicyReport> policies;
+
+    /** Per-host cells, only with FleetOptions::keepHostResults (the
+     * default drops them — a 10k-host report stays small). */
+    std::vector<HostCellResult> hostResults;
+};
+
+/** Knobs of a fleet run. */
+struct FleetOptions
+{
+    /** Worker threads host cells shard across; 1 = inline, 0 = the
+     * hardware count. */
+    unsigned jobs = 1;
+
+    /** Registry the aggregate fleet metrics are recorded into
+     * (labelled {mode="fleet"}), or null to disable. Recording
+     * happens after the parallel phase, on the calling thread, so
+     * series are deterministic for every thread count. */
+    obs::MetricsRegistry *metrics = nullptr;
+
+    /** Retain every HostCellResult in FleetReport::hostResults
+     * (tests, forensics). Off by default: memory then stays bounded
+     * regardless of fleet size. */
+    bool keepHostResults = false;
+};
+
+/**
+ * Runs a whole fleet. Deterministic: the report is a pure function
+ * of (fleet config, sim params, cache params, policies) — never of
+ * jobs.
+ */
+class FleetDriver
+{
+  public:
+    FleetDriver(workload::FleetConfig fleet, SimParams sim,
+                cache::CacheParams cacheParams,
+                FleetOptions options = {});
+
+    /**
+     * Simulate every host against each of @p policies (each policy a
+     * GlobalDriver with private session state per host) plus the
+     * Base baseline, and aggregate across hosts.
+     */
+    FleetReport run(const std::vector<PolicyConfig> &policies) const;
+
+    /**
+     * One host cell, streamed generate-replay-discard. Public for
+     * parity tests: a pure single-app profile with scale 1.0 must be
+     * RunResult-field-equal to the materialized Evaluation path.
+     */
+    HostCellResult
+    runHost(const workload::HostProfile &profile,
+            const std::vector<PolicyConfig> &policies) const;
+
+    const workload::FleetConfig &fleet() const { return fleet_; }
+
+  private:
+    void recordMetrics(const FleetReport &report,
+                       const std::vector<PolicyConfig> &policies)
+        const;
+
+    workload::FleetConfig fleet_;
+    SimParams sim_;
+    cache::CacheParams cacheParams_;
+    FleetOptions options_;
+};
+
+} // namespace pcap::sim
+
+#endif // PCAP_SIM_FLEET_HPP

@@ -1,5 +1,7 @@
 #include "sim/kernel.hpp"
 
+#include "sim/execution_source.hpp"
+
 #include <algorithm>
 
 namespace pcap::sim {
@@ -366,9 +368,16 @@ RunResult
 SimulationKernel::run(const std::vector<ExecutionInput> &executions,
                       PolicyDriver &driver)
 {
+    MaterializedSource source(executions);
+    return run(source, driver);
+}
+
+RunResult
+SimulationKernel::run(ExecutionSource &source, PolicyDriver &driver)
+{
     RunResult total;
-    for (const ExecutionInput &input : executions)
-        total.merge(runExecution(input, driver));
+    while (const ExecutionInput *input = source.next())
+        total.merge(runExecution(*input, driver));
     return total;
 }
 

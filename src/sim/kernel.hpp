@@ -29,6 +29,8 @@
 
 namespace pcap::sim {
 
+class ExecutionSource;
+
 /** Parameters shared by every simulation run. */
 struct SimParams
 {
@@ -261,6 +263,14 @@ class SimulationKernel
     /** Replay every execution in order and merge the results. */
     RunResult run(const std::vector<ExecutionInput> &executions,
                   PolicyDriver &driver);
+
+    /**
+     * Pull executions from @p source until it drains, replaying and
+     * merging each — the streaming entry point (execution_source.hpp).
+     * The vector overload above is this loop over a
+     * MaterializedSource, so both paths produce identical results.
+     */
+    RunResult run(ExecutionSource &source, PolicyDriver &driver);
 
     const SimParams &params() const { return params_; }
 

@@ -1,0 +1,429 @@
+/**
+ * @file
+ * The streaming fleet path and its parity contract.
+ *
+ *  - Host profiles: deterministic in (fleet seed, host index) alone,
+ *    bounded by their FleetConfig ranges.
+ *  - Streaming parity: a pure single-app host streams inputs
+ *    byte-identical to the materialized generateTraces path, and a
+ *    1-host fleet cell is RunResult-field-equal to the Evaluation
+ *    engine — the tentpole's "same numbers, bounded memory" promise.
+ *  - Fleet determinism: a 64-host fleet is field-equal across thread
+ *    counts.
+ *  - TraceStore retention: scopes evict published entries, account
+ *    resident bytes, and later requests regenerate.
+ *  - CellStore: engines sharing a store replay each cell once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/cell_store.hpp"
+#include "sim/execution_source.hpp"
+#include "sim/experiment.hpp"
+#include "sim/fleet.hpp"
+#include "sim/trace_store.hpp"
+#include "workload/host_profile.hpp"
+
+namespace pcap::sim {
+namespace {
+
+void
+expectSameAccuracy(const AccuracyStats &a, const AccuracyStats &b)
+{
+    EXPECT_EQ(a.opportunities, b.opportunities);
+    EXPECT_EQ(a.hitPrimary, b.hitPrimary);
+    EXPECT_EQ(a.hitBackup, b.hitBackup);
+    EXPECT_EQ(a.missPrimary, b.missPrimary);
+    EXPECT_EQ(a.missBackup, b.missBackup);
+    EXPECT_EQ(a.notPredicted, b.notPredicted);
+}
+
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    expectSameAccuracy(a.accuracy, b.accuracy);
+    for (auto category :
+         {power::EnergyCategory::BusyIo,
+          power::EnergyCategory::IdleShort,
+          power::EnergyCategory::IdleLong,
+          power::EnergyCategory::PowerCycle}) {
+        EXPECT_DOUBLE_EQ(a.energy.get(category),
+                         b.energy.get(category));
+    }
+    EXPECT_EQ(a.shutdowns, b.shutdowns);
+    EXPECT_EQ(a.spinUps, b.spinUps);
+    EXPECT_EQ(a.ignoredShutdowns, b.ignoredShutdowns);
+    EXPECT_EQ(a.totalSpinUpDelay, b.totalSpinUpDelay);
+}
+
+TEST(HostProfile, DeterministicAndIndependentOfFleetSize)
+{
+    workload::FleetConfig small;
+    small.fleetSeed = 1234;
+    small.hosts = 4;
+    workload::FleetConfig large = small;
+    large.hosts = 4096;
+
+    for (std::uint64_t host = 0; host < 4; ++host) {
+        const auto a = workload::hostProfile(small, host);
+        const auto b = workload::hostProfile(large, host);
+        EXPECT_EQ(a.host, host);
+        EXPECT_EQ(a.seed, b.seed);
+        EXPECT_DOUBLE_EQ(a.thinkTimeScale, b.thinkTimeScale);
+        EXPECT_EQ(a.executions, b.executions);
+        ASSERT_EQ(a.appMix.size(), b.appMix.size());
+        for (std::size_t i = 0; i < a.appMix.size(); ++i) {
+            EXPECT_EQ(a.appMix[i].app, b.appMix[i].app);
+            EXPECT_DOUBLE_EQ(a.appMix[i].weight,
+                             b.appMix[i].weight);
+        }
+    }
+}
+
+TEST(HostProfile, DrawsStayInsideConfiguredBounds)
+{
+    workload::FleetConfig config;
+    config.fleetSeed = 99;
+    config.hosts = 64;
+    config.maxAppsPerHost = 3;
+    config.executionsMin = 4;
+    config.executionsMax = 12;
+    config.minThinkScale = 0.5;
+    config.maxThinkScale = 2.0;
+
+    for (std::uint64_t host = 0; host < config.hosts; ++host) {
+        const auto profile = workload::hostProfile(config, host);
+        EXPECT_GE(profile.thinkTimeScale, 0.5);
+        EXPECT_LT(profile.thinkTimeScale, 2.0);
+        EXPECT_GE(profile.executions, 4);
+        EXPECT_LE(profile.executions, 12);
+        ASSERT_FALSE(profile.appMix.empty());
+        EXPECT_LE(profile.appMix.size(), 3u);
+        std::set<std::string> distinct;
+        for (const auto &share : profile.appMix) {
+            EXPECT_GE(share.weight, 0.5);
+            EXPECT_LT(share.weight, 2.0);
+            distinct.insert(share.app);
+        }
+        EXPECT_EQ(distinct.size(), profile.appMix.size());
+    }
+}
+
+TEST(HostProfile, ExecutionPlanIndicesIncreasePerApp)
+{
+    workload::FleetConfig config;
+    config.fleetSeed = 7;
+    config.hosts = 8;
+    for (std::uint64_t host = 0; host < config.hosts; ++host) {
+        const auto profile = workload::hostProfile(config, host);
+        std::map<std::string, int> nextIndex;
+        for (const auto &planned :
+             workload::executionPlan(profile)) {
+            EXPECT_EQ(planned.appExecution,
+                      nextIndex[planned.app]++);
+        }
+    }
+}
+
+TEST(ScaleTraceTimes, ScalesEveryEventAndStaysValid)
+{
+    Rng rng(11);
+    const auto model = workload::makeApp("mozilla");
+    ASSERT_TRUE(model);
+    const auto trace = model->generate(0, rng);
+    ASSERT_FALSE(trace.events().empty());
+
+    const auto scaled = workload::scaleTraceTimes(trace, 2.0);
+    ASSERT_EQ(scaled.events().size(), trace.events().size());
+    EXPECT_EQ(scaled.validate(), "");
+    for (std::size_t i = 0; i < trace.events().size(); ++i) {
+        EXPECT_EQ(scaled.events()[i].time,
+                  static_cast<TimeUs>(std::llround(
+                      static_cast<double>(trace.events()[i].time) *
+                      2.0)));
+    }
+
+    // scale == 1.0 is the exact identity, not a round trip.
+    const auto same = workload::scaleTraceTimes(trace, 1.0);
+    ASSERT_EQ(same.events().size(), trace.events().size());
+    for (std::size_t i = 0; i < trace.events().size(); ++i)
+        EXPECT_EQ(same.events()[i].time, trace.events()[i].time);
+}
+
+TEST(HostExecutionSource, SingleAppStreamMatchesMaterializedPath)
+{
+    const std::uint64_t seed = 42;
+    const std::string app = "mozilla";
+    const int executions = 2;
+    const cache::CacheParams cacheParams;
+
+    obs::ScopedMetrics silent(nullptr, {});
+    const auto traces =
+        generateTraces(seed, app, executions, /*jobs=*/1, silent);
+    const auto expected =
+        inputsFromTraces(traces, cacheParams, /*jobs=*/1);
+
+    workload::HostProfile profile;
+    profile.seed = seed;
+    profile.appMix = {{app, 1.0}};
+    profile.executions = 0; // full-run parity mode
+    profile.maxExecutionsPerApp = executions;
+
+    HostExecutionSource source(profile, cacheParams);
+    EXPECT_EQ(source.planned(), expected.size());
+    std::size_t i = 0;
+    while (const ExecutionInput *input = source.next()) {
+        ASSERT_LT(i, expected.size());
+        EXPECT_TRUE(input->sameContentAs(expected[i]));
+        ++i;
+    }
+    EXPECT_EQ(i, expected.size());
+    EXPECT_EQ(source.produced(), expected.size());
+}
+
+TEST(FleetParity, OneHostCellEqualsEvaluationEngine)
+{
+    ExperimentConfig config;
+    config.maxExecutions = 2;
+
+    const std::vector<PolicyConfig> policies = {
+        PolicyConfig::timeoutPolicy(),
+        PolicyConfig::pcapFdHistory(),
+    };
+
+    Evaluation reference(config);
+    FleetDriver driver({}, config.sim, config.cache);
+
+    for (const std::string &app : reference.appNames()) {
+        workload::HostProfile profile;
+        profile.seed = config.seed;
+        profile.appMix = {{app, 1.0}};
+        profile.executions = 0;
+        profile.maxExecutionsPerApp = config.maxExecutions;
+
+        const HostCellResult cell =
+            driver.runHost(profile, policies);
+        EXPECT_EQ(cell.executions,
+                  reference.inputs(app).size());
+
+        expectSameResult(cell.base, reference.baseRun(app));
+        ASSERT_EQ(cell.policyRuns.size(), policies.size());
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const auto expected =
+                reference.globalRun(app, policies[p]);
+            expectSameResult(cell.policyRuns[p], expected.run);
+            EXPECT_EQ(cell.tableEntries[p],
+                      expected.tableEntries);
+        }
+    }
+}
+
+TEST(FleetDriver, DeterministicAcrossThreadCounts)
+{
+    workload::FleetConfig fleet;
+    fleet.fleetSeed = 7;
+    fleet.hosts = 64;
+    fleet.executionsMin = 1;
+    fleet.executionsMax = 2;
+    fleet.minThinkScale = 0.5;
+    fleet.maxThinkScale = 2.0;
+    fleet.maxExecutionsPerApp = 0;
+
+    const std::vector<PolicyConfig> policies = {
+        PolicyConfig::timeoutPolicy(),
+        PolicyConfig::pcapFdHistory(),
+    };
+    ExperimentConfig config;
+
+    FleetOptions serialOptions;
+    serialOptions.jobs = 1;
+    serialOptions.keepHostResults = true;
+    FleetOptions parallelOptions = serialOptions;
+    parallelOptions.jobs = 4;
+
+    const FleetReport serial =
+        FleetDriver(fleet, config.sim, config.cache, serialOptions)
+            .run(policies);
+    const FleetReport parallel =
+        FleetDriver(fleet, config.sim, config.cache,
+                    parallelOptions)
+            .run(policies);
+
+    EXPECT_EQ(serial.hosts, fleet.hosts);
+    EXPECT_EQ(serial.executions, parallel.executions);
+    EXPECT_EQ(serial.accesses, parallel.accesses);
+    EXPECT_EQ(serial.opportunities, parallel.opportunities);
+    EXPECT_DOUBLE_EQ(serial.meanBaseEnergyJ,
+                     parallel.meanBaseEnergyJ);
+    EXPECT_DOUBLE_EQ(serial.baseEnergyJ.p50,
+                     parallel.baseEnergyJ.p50);
+    EXPECT_DOUBLE_EQ(serial.baseEnergyJ.p99,
+                     parallel.baseEnergyJ.p99);
+
+    ASSERT_EQ(serial.policies.size(), parallel.policies.size());
+    for (std::size_t p = 0; p < serial.policies.size(); ++p) {
+        const auto &a = serial.policies[p];
+        const auto &b = parallel.policies[p];
+        EXPECT_EQ(a.policy, b.policy);
+        EXPECT_DOUBLE_EQ(a.energyJ.p50, b.energyJ.p50);
+        EXPECT_DOUBLE_EQ(a.energyJ.p90, b.energyJ.p90);
+        EXPECT_DOUBLE_EQ(a.energyJ.p99, b.energyJ.p99);
+        EXPECT_DOUBLE_EQ(a.savedFraction.p50,
+                         b.savedFraction.p50);
+        EXPECT_DOUBLE_EQ(a.hitFraction.p90, b.hitFraction.p90);
+        EXPECT_DOUBLE_EQ(a.missFraction.p99, b.missFraction.p99);
+        EXPECT_DOUBLE_EQ(a.meanEnergyJ, b.meanEnergyJ);
+        EXPECT_DOUBLE_EQ(a.meanSavedFraction,
+                         b.meanSavedFraction);
+        EXPECT_EQ(a.shutdowns, b.shutdowns);
+        EXPECT_EQ(a.spinUps, b.spinUps);
+    }
+
+    ASSERT_EQ(serial.hostResults.size(),
+              parallel.hostResults.size());
+    for (std::size_t i = 0; i < serial.hostResults.size(); ++i) {
+        const auto &a = serial.hostResults[i];
+        const auto &b = parallel.hostResults[i];
+        EXPECT_EQ(a.host, b.host);
+        EXPECT_EQ(a.executions, b.executions);
+        EXPECT_EQ(a.accesses, b.accesses);
+        EXPECT_DOUBLE_EQ(a.thinkTimeScale, b.thinkTimeScale);
+        expectSameResult(a.base, b.base);
+        ASSERT_EQ(a.policyRuns.size(), b.policyRuns.size());
+        for (std::size_t p = 0; p < a.policyRuns.size(); ++p) {
+            expectSameResult(a.policyRuns[p], b.policyRuns[p]);
+            EXPECT_EQ(a.tableEntries[p], b.tableEntries[p]);
+        }
+    }
+}
+
+TEST(FleetPercentiles, NearestRankIsExact)
+{
+    std::vector<double> values;
+    for (int i = 100; i >= 1; --i)
+        values.push_back(static_cast<double>(i));
+    const auto p = percentilesOf(values);
+    EXPECT_DOUBLE_EQ(p.p50, 50.0);
+    EXPECT_DOUBLE_EQ(p.p90, 90.0);
+    EXPECT_DOUBLE_EQ(p.p99, 99.0);
+
+    const auto single = percentilesOf({3.5});
+    EXPECT_DOUBLE_EQ(single.p50, 3.5);
+    EXPECT_DOUBLE_EQ(single.p99, 3.5);
+
+    const auto empty = percentilesOf({});
+    EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+    EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+}
+
+TEST(TraceStore, RetentionScopeEvictsAndAccountsBytes)
+{
+    obs::MetricsRegistry registry;
+    obs::Gauge &gauge = registry.gauge("pcap_trace_store_bytes");
+    obs::ScopedMetrics silent(nullptr, {});
+
+    TraceStore store;
+    store.bindBytesGauge(&gauge);
+    EXPECT_EQ(store.bytesResident(), 0u);
+
+    {
+        TraceStore::Retention retention(store);
+        const auto traces =
+            store.traces(42, "mozilla", 2, /*jobs=*/1, silent);
+        ASSERT_TRUE(traces);
+        EXPECT_EQ(store.generatedSets(), 1u);
+        EXPECT_GT(store.bytesResident(), 0u);
+        EXPECT_DOUBLE_EQ(gauge.value(),
+                         static_cast<double>(
+                             store.bytesResident()));
+
+        // A second request inside the scope is a lookup.
+        const auto again =
+            store.traces(42, "mozilla", 2, /*jobs=*/1, silent);
+        EXPECT_EQ(again.get(), traces.get());
+        EXPECT_EQ(store.generatedSets(), 1u);
+    }
+
+    // Scope closed: entry evicted, bytes back to zero.
+    EXPECT_EQ(store.evictedSets(), 1u);
+    EXPECT_EQ(store.bytesResident(), 0u);
+    EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+
+    // A later request regenerates, deterministically.
+    const auto regenerated =
+        store.traces(42, "mozilla", 2, /*jobs=*/1, silent);
+    ASSERT_TRUE(regenerated);
+    EXPECT_EQ(store.generatedSets(), 2u);
+}
+
+TEST(TraceStore, NestedRetentionsEvictOnlyAtLastClose)
+{
+    obs::ScopedMetrics silent(nullptr, {});
+    TraceStore store;
+    TraceStore::Retention outer(store);
+    {
+        TraceStore::Retention inner(store);
+        store.traces(42, "mozilla", 1, /*jobs=*/1, silent);
+    }
+    EXPECT_EQ(store.evictedSets(), 0u);
+    EXPECT_GT(store.bytesResident(), 0u);
+}
+
+TEST(CellStore, EnginesWithEqualConfigShareCells)
+{
+    ExperimentConfig config;
+    config.maxExecutions = 2;
+    const auto store = std::make_shared<CellStore>();
+
+    ParallelOptions options;
+    options.cellStore = store;
+
+    ParallelEvaluation first(config, options);
+    ParallelEvaluation second(config, options);
+
+    const auto policy = PolicyConfig::timeoutPolicy();
+    const auto computedOnce = first.globalRun("mozilla", policy);
+    EXPECT_EQ(store->computed(), 1u);
+    EXPECT_EQ(store->hits(), 0u);
+
+    const auto reused = second.globalRun("mozilla", policy);
+    EXPECT_EQ(store->computed(), 1u);
+    EXPECT_EQ(store->hits(), 1u);
+    expectSameResult(reused.run, computedOnce.run);
+    EXPECT_EQ(reused.tableEntries, computedOnce.tableEntries);
+
+    // A different policy is a different cell.
+    second.globalRun("mozilla", PolicyConfig::pcapBase());
+    EXPECT_EQ(store->computed(), 2u);
+}
+
+TEST(CellStore, DistinctConfigsNeverCollide)
+{
+    ExperimentConfig fast;
+    fast.maxExecutions = 1;
+    ExperimentConfig slow;
+    slow.maxExecutions = 2;
+    const auto store = std::make_shared<CellStore>();
+
+    ParallelOptions options;
+    options.cellStore = store;
+    ParallelEvaluation a(fast, options);
+    ParallelEvaluation b(slow, options);
+
+    const auto policy = PolicyConfig::timeoutPolicy();
+    a.globalRun("mozilla", policy);
+    b.globalRun("mozilla", policy);
+    EXPECT_EQ(store->computed(), 2u);
+    EXPECT_EQ(store->hits(), 0u);
+}
+
+} // namespace
+} // namespace pcap::sim

@@ -17,9 +17,14 @@ is given, so an instrumentation regression cannot slip through.
 
 --max-report-seconds NAME=SECONDS (repeatable) additionally budgets
 the candidate's wall time for one report (timings_ms.reports.NAME).
-A blown budget is an error by default; with --timing-warn-only it
-only warns -- use that on shared/noisy runners (CI) where wall time
-is advisory, and the strict form when benchmarking locally.
+--max-any-report-seconds SECONDS applies one (generous) budget to
+every report in the candidate. A blown budget is an error by
+default; with --timing-warn-only it only warns -- use that on
+shared/noisy runners where wall time is advisory.
+
+When both files carry a top-level "fleet" block (bench_all --report
+fleet) the generic key comparison requires it to be identical, and
+the candidate's block is schema-checked (pcap-fleet-v1).
 """
 
 import argparse
@@ -77,6 +82,36 @@ def check_metrics(got, errors):
         errors.append("candidate metrics block has no series")
 
 
+def check_fleet(got, errors):
+    """Schema of the candidate's fleet block, when present."""
+    fleet = got.get("fleet")
+    if fleet is None:
+        return
+    if not isinstance(fleet, dict):
+        errors.append("fleet block is not an object")
+        return
+    if fleet.get("schema") != "pcap-fleet-v1":
+        errors.append(f"fleet schema {fleet.get('schema')!r} "
+                      f"!= 'pcap-fleet-v1'")
+        return
+    hosts = fleet.get("hosts")
+    if not isinstance(hosts, (int, float)) or hosts < 1:
+        errors.append(f"fleet hosts {hosts!r} is not >= 1")
+    policies = fleet.get("policies")
+    if not isinstance(policies, list) or not policies:
+        errors.append("fleet block has no policies")
+        return
+    for policy in policies:
+        label = policy.get("policy", "<unnamed>")
+        for field in ("energy_j", "saved_fraction",
+                      "hit_fraction", "miss_fraction"):
+            percentiles = policy.get(field)
+            if not isinstance(percentiles, dict) or not all(
+                    q in percentiles for q in ("p50", "p90", "p99")):
+                errors.append(f"fleet policy {label}: {field} lacks "
+                              f"p50/p90/p99")
+
+
 def parse_budget(text):
     name, sep, seconds = text.partition("=")
     if not sep or not name:
@@ -93,9 +128,14 @@ def parse_budget(text):
     return name, value
 
 
-def check_budgets(got, budgets, warn_only, errors):
+def check_budgets(got, budgets, any_budget, warn_only, errors):
     """Candidate report wall times against their budgets."""
     timings = got.get("timings_ms", {}).get("reports", {})
+    if any_budget is not None:
+        named = {name for name, _ in budgets}
+        budgets = list(budgets) + [(name, any_budget)
+                                   for name in sorted(timings)
+                                   if name not in named]
     for name, seconds in budgets:
         if name not in timings:
             errors.append(f"timing budget for '{name}': report has "
@@ -129,10 +169,18 @@ def main():
                         metavar="NAME=SECONDS",
                         help="wall-time budget for one candidate "
                              "report (repeatable)")
+    parser.add_argument("--max-any-report-seconds", type=float,
+                        default=None, metavar="SECONDS",
+                        help="wall-time budget applied to every "
+                             "candidate report not covered by a "
+                             "named budget")
     parser.add_argument("--timing-warn-only", action="store_true",
                         help="blown timing budgets warn instead of "
                              "failing (shared/noisy runners)")
     args = parser.parse_args()
+    if (args.max_any_report_seconds is not None
+            and args.max_any_report_seconds <= 0):
+        parser.error("--max-any-report-seconds must be positive")
 
     with open(args.reference) as f:
         ref = json.load(f)
@@ -148,7 +196,9 @@ def main():
 
     if not args.allow_missing_metrics:
         check_metrics(got, errors)
+    check_fleet(got, errors)
     check_budgets(got, args.max_report_seconds,
+                  args.max_any_report_seconds,
                   args.timing_warn_only, errors)
 
     ref_reports = ref.get("reports", {})

@@ -39,6 +39,7 @@ import sys
 # accumulated seconds are wall time.
 DEFAULT_IGNORE = (
     r"wall|thread_pool|workload_cache|workload_generated"
+    r"|trace_store"
     r"|pcap_sim_batch_flush_seconds.*/seconds"
 )
 
