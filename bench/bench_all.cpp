@@ -27,11 +27,13 @@
 #include "obs/export.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tracing.hpp"
 #include "reports.hpp"
 #include "sim/cell_store.hpp"
 #include "sim/trace_store.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
+#include "util/resource.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -77,6 +79,17 @@ usage(std::ostream &os)
           "                    cell into directory P (binary + "
           "JSONL; see\n"
           "                    tools/pcap_explain)\n"
+          "      --timeline-dir P  write a simulated-time timeline "
+          "per cell\n"
+          "                    into directory P (pcap-timeline-v1 "
+          "JSON + CSV;\n"
+          "                    see tools/pcap_timeline.py)\n"
+          "      --trace-profile PATH  record wall-clock phase "
+          "spans and\n"
+          "                    write a Chrome trace-event profile "
+          "to PATH\n"
+          "                    (load in Perfetto / "
+          "chrome://tracing)\n"
           "      --metrics-out P  Prometheus text metrics file "
           "(default:\n"
           "                    <json>.prom; '-' disables)\n"
@@ -157,6 +170,8 @@ main(int argc, char **argv)
     std::string json_path = "BENCH_RESULTS.json";
     std::string trace_dir;
     std::string provenance_dir;
+    std::string timeline_dir;
+    std::string trace_profile_path;
     std::string metrics_path;
     std::string manifest_path;
     std::vector<std::string> only;
@@ -216,6 +231,10 @@ main(int argc, char **argv)
             trace_dir = value("--trace-dir");
         } else if (arg == "--provenance-dir") {
             provenance_dir = value("--provenance-dir");
+        } else if (arg == "--timeline-dir") {
+            timeline_dir = value("--timeline-dir");
+        } else if (arg == "--trace-profile") {
+            trace_profile_path = value("--trace-profile");
         } else if (arg == "--metrics-out") {
             metrics_path = value("--metrics-out");
         } else if (arg == "--manifest") {
@@ -288,6 +307,16 @@ main(int argc, char **argv)
 
     obs::MetricsRegistry registry;
 
+    // The span recorder (when requested) outlives every traced
+    // scope, including pool-thread task hooks that may still fire
+    // while the process winds down — so it is deliberately leaked.
+    obs::TraceRecorder *trace_recorder = nullptr;
+    if (!trace_profile_path.empty()) {
+        trace_recorder = new obs::TraceRecorder();
+        obs::setTraceRecorder(trace_recorder);
+        obs::installThreadPoolTraceHook();
+    }
+
     sim::ParallelOptions options;
     options.jobs = jobs;
     if (use_cache) {
@@ -297,6 +326,7 @@ main(int argc, char **argv)
     }
     options.traceDir = trace_dir;
     options.provenanceDir = provenance_dir;
+    options.timelineDir = timeline_dir;
     options.metrics = use_metrics ? &registry : nullptr;
     // Shared across the standard engine and every sweep engine the
     // reports build (ablation_cache): raw traces are generated once
@@ -359,12 +389,17 @@ main(int argc, char **argv)
     }
 
     const Clock::time_point inputs_start = Clock::now();
-    if (!cells.empty())
+    if (!cells.empty()) {
+        obs::Span span("inputs");
         eval.prefetchInputs();
+    }
     const double inputs_ms = msSince(inputs_start);
 
     const Clock::time_point cells_start = Clock::now();
-    eval.prefetch(cells);
+    {
+        obs::Span span("simulation");
+        eval.prefetch(cells);
+    }
     const double cells_ms = msSince(cells_start);
 
     // Phase 2: render every report, recording its residual cost
@@ -374,8 +409,17 @@ main(int argc, char **argv)
     for (const bench::Report *report : selected) {
         const Clock::time_point start = Clock::now();
         std::ostringstream text;
-        report->run(ctx, text);
+        {
+            obs::Span span("report", report->name);
+            report->run(ctx, text);
+        }
         const double ms = msSince(start);
+        inform("report " + report->name + ": " +
+               fixedString(ms / 1e3, 3) + " s wall, peak rss " +
+               fixedString(static_cast<double>(peakRssBytes()) /
+                               (1024.0 * 1024.0),
+                           1) +
+               " MiB");
 
         std::cout << text.str();
         Json &entry = report_json[report->name];
@@ -419,6 +463,25 @@ main(int argc, char **argv)
                      {{"op", "store"}})
             .inc(eval.workloadCache().stores());
         recordBenchMetrics(registry, inputs_ms, cells_ms, total_ms);
+        if (trace_recorder) {
+            registry.counter("pcap_trace_profile_events_total")
+                .inc(trace_recorder->totalEvents());
+            registry.counter("pcap_trace_profile_dropped_total")
+                .inc(trace_recorder->totalDropped());
+            registry.gauge("pcap_trace_profile_threads")
+                .set(static_cast<double>(
+                    trace_recorder->threadCount()));
+        }
+    }
+
+    if (trace_recorder) {
+        trace_recorder->writeChromeTrace(trace_profile_path);
+        std::cout << "trace profile: " << trace_profile_path << " ("
+                  << trace_recorder->totalEvents() << " spans";
+        if (trace_recorder->totalDropped())
+            std::cout << ", " << trace_recorder->totalDropped()
+                      << " dropped";
+        std::cout << ")\n";
     }
 
     if (json_path != "-") {

@@ -1204,6 +1204,26 @@ reportFleet(ReportContext &ctx, std::ostream &os)
     }
     table.print(os);
 
+    std::size_t flagged = 0;
+    for (const auto &policy : report.policies)
+        flagged += policy.outliers.size();
+    os << "\noutlier hosts (|value - median| > "
+       << fixedString(sim::FleetOptions{}.outlierMadThreshold, 1)
+       << " MAD): " << flagged << "\n";
+    if (flagged) {
+        TextTable outlierTable;
+        outlierTable.setHeader({"policy", "host", "metric", "value",
+                                "median", "score"});
+        for (const auto &policy : report.policies)
+            for (const auto &outlier : policy.outliers)
+                outlierTable.addRow(
+                    {policy.policy, std::to_string(outlier.host),
+                     outlier.metric, percentString(outlier.value),
+                     percentString(outlier.median),
+                     fixedString(outlier.score, 1)});
+        outlierTable.print(os);
+    }
+
     if (!ctx.fleetJson)
         return;
     auto percentilesJson = [](const sim::FleetPercentiles &p) {
@@ -1237,8 +1257,23 @@ reportFleet(ReportContext &ctx, std::ostream &os)
             percentilesJson(policy.missFraction);
         entry["mean_energy_j"] = policy.meanEnergyJ;
         entry["mean_saved_fraction"] = policy.meanSavedFraction;
+        entry["saved_fraction_median"] = policy.medianSavedFraction;
+        entry["saved_fraction_mad"] = policy.madSavedFraction;
+        entry["miss_fraction_median"] = policy.medianMissFraction;
+        entry["miss_fraction_mad"] = policy.madMissFraction;
         entry["shutdowns"] = policy.shutdowns;
         entry["spin_ups"] = policy.spinUps;
+        Json &outliersJson = entry["outliers"];
+        outliersJson = Json::array();
+        for (const auto &outlier : policy.outliers) {
+            Json item = Json::object();
+            item["host"] = outlier.host;
+            item["metric"] = outlier.metric;
+            item["value"] = outlier.value;
+            item["median"] = outlier.median;
+            item["score"] = outlier.score;
+            outliersJson.push(std::move(item));
+        }
         policiesJson.push(std::move(entry));
     }
 }

@@ -1,0 +1,125 @@
+#include "obs/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace pcap::obs {
+
+LogSketch::LogSketch(double relativeAccuracy)
+    : alpha_(relativeAccuracy)
+{
+    if (!(relativeAccuracy > 0.0 && relativeAccuracy < 1.0))
+        panic("LogSketch accuracy must be in (0, 1)");
+    logGamma_ =
+        std::log((1.0 + alpha_) / (1.0 - alpha_));
+}
+
+std::int32_t
+LogSketch::indexOf(double magnitude) const
+{
+    return static_cast<std::int32_t>(
+        std::ceil(std::log(magnitude) / logGamma_));
+}
+
+double
+LogSketch::representative(std::int32_t index) const
+{
+    // Bucket i covers (gamma^(i-1), gamma^i]; the midpoint in log
+    // space, 2 * gamma^i / (gamma + 1), is within alpha of every
+    // value in the bucket.
+    const double gamma = std::exp(logGamma_);
+    return 2.0 * std::exp(logGamma_ * index) / (gamma + 1.0);
+}
+
+void
+LogSketch::add(double value)
+{
+    if (std::isnan(value))
+        panic("LogSketch::add: NaN value");
+    if (std::abs(value) <= kZeroEpsilon)
+        ++zeros_;
+    else if (value > 0.0)
+        ++positive_[indexOf(value)];
+    else
+        ++negative_[indexOf(-value)];
+    ++count_;
+}
+
+void
+LogSketch::merge(const LogSketch &other)
+{
+    if (other.alpha_ != alpha_)
+        panic("LogSketch::merge: accuracy mismatch");
+    for (const auto &[index, n] : other.positive_)
+        positive_[index] += n;
+    for (const auto &[index, n] : other.negative_)
+        negative_[index] += n;
+    zeros_ += other.zeros_;
+    count_ += other.count_;
+}
+
+double
+LogSketch::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    rank = std::clamp<std::uint64_t>(rank, 1, count_);
+
+    // Ascending value order: most-negative first (descending
+    // mirror index), then zeros, then positives ascending.
+    std::uint64_t seen = 0;
+    for (auto it = negative_.rbegin(); it != negative_.rend();
+         ++it) {
+        seen += it->second;
+        if (seen >= rank)
+            return -representative(it->first);
+    }
+    seen += zeros_;
+    if (seen >= rank)
+        return 0.0;
+    for (const auto &[index, n] : positive_) {
+        seen += n;
+        if (seen >= rank)
+            return representative(index);
+    }
+    panic("LogSketch::quantile: rank beyond bucket counts");
+}
+
+double
+LogSketch::medianAbsDeviation() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double median = quantile(0.5);
+
+    std::vector<std::pair<double, std::uint64_t>> deviations;
+    deviations.reserve(positive_.size() + negative_.size() + 1);
+    for (const auto &[index, n] : negative_)
+        deviations.emplace_back(
+            std::abs(-representative(index) - median), n);
+    if (zeros_ > 0)
+        deviations.emplace_back(std::abs(median), zeros_);
+    for (const auto &[index, n] : positive_)
+        deviations.emplace_back(
+            std::abs(representative(index) - median), n);
+    std::sort(deviations.begin(), deviations.end());
+
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(0.5 * static_cast<double>(count_)));
+    rank = std::clamp<std::uint64_t>(rank, 1, count_);
+    std::uint64_t seen = 0;
+    for (const auto &[deviation, n] : deviations) {
+        seen += n;
+        if (seen >= rank)
+            return deviation;
+    }
+    panic("LogSketch::medianAbsDeviation: rank beyond counts");
+}
+
+} // namespace pcap::obs

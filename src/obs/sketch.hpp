@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic mergeable quantile sketch.
+ *
+ * The fleet driver needs across-host percentiles without
+ * materializing one double per host (10k+ hosts, several metrics
+ * each). A LogSketch keeps integer counts in logarithmically spaced
+ * buckets — value v lands in bucket ceil(log(v) / log(gamma)) with
+ * gamma = (1 + a) / (1 - a) — so any quantile comes back within
+ * relative error a of an exact nearest-rank answer (default 1%).
+ *
+ * Determinism is the point, not an accident: buckets hold exact
+ * integer counts in ordered maps, so merging shard sketches is
+ * associative and order-independent, and a quantile query is a pure
+ * function of the folded counts. A fleet run at -j1 and -j4
+ * produces bit-identical percentiles as long as shards merge in a
+ * fixed order (sim/fleet merges by shard index).
+ */
+
+#ifndef PCAP_OBS_SKETCH_HPP
+#define PCAP_OBS_SKETCH_HPP
+
+#include <cstdint>
+#include <map>
+
+namespace pcap::obs {
+
+/**
+ * Log-bucketed quantile sketch over doubles, DDSketch-style.
+ *
+ * Handles any finite value: positives and negatives get mirrored
+ * bucket maps, values within kZeroEpsilon of zero share one exact
+ * zero counter. Memory is O(distinct buckets), bounded by the
+ * dynamic range of the data (~2300 buckets per decade-spanning
+ * sign at 1% accuracy in the worst case; fleet metrics use a few
+ * dozen).
+ */
+class LogSketch
+{
+  public:
+    /** Values closer to zero than this are counted as exact zero. */
+    static constexpr double kZeroEpsilon = 1e-12;
+
+    explicit LogSketch(double relativeAccuracy = 0.01);
+
+    void add(double value);
+
+    /** Fold @p other in; accuracies must match (panic otherwise). */
+    void merge(const LogSketch &other);
+
+    std::uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    double relativeAccuracy() const { return alpha_; }
+
+    /**
+     * Nearest-rank quantile: the bucket representative of the
+     * sample at rank ceil(q * count), clamped to [1, count].
+     * Within relativeAccuracy() of the exact nearest-rank value;
+     * 0 on an empty sketch.
+     */
+    double quantile(double q) const;
+
+    /**
+     * Median absolute deviation from quantile(0.5), computed
+     * exactly over the sketch representation (weighted median of
+     * |representative - median|). The outlier threshold unit.
+     */
+    double medianAbsDeviation() const;
+
+  private:
+    std::int32_t indexOf(double magnitude) const;
+    double representative(std::int32_t index) const;
+
+    double alpha_;
+    double logGamma_;
+    std::map<std::int32_t, std::uint64_t> positive_;
+    std::map<std::int32_t, std::uint64_t> negative_;
+    std::uint64_t zeros_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace pcap::obs
+
+#endif // PCAP_OBS_SKETCH_HPP

@@ -242,6 +242,16 @@ struct ParallelOptions
     std::string provenanceDir;
 
     /**
+     * When non-empty, every simulation cell folds its replay into a
+     * simulated-time sim::TimelineObserver and writes the result
+     * into this directory (created if needed): a pcap-timeline-v1
+     * JSON document plus a CSV mirror per (mode, app, policy) cell,
+     * named <stem>.timeline.{json,csv}. Empty disables timelines
+     * (the default path is untouched).
+     */
+    std::string timelineDir;
+
+    /**
      * Registry every layer records into, or null to disable
      * instrumentation. Each cell writes through a ScopedMetrics
      * labelled {config, mode, app, policy, policy_hash}, so parallel
@@ -265,9 +275,10 @@ struct ParallelOptions
      * compute cells privately. Engines over an *identical* config
      * then replay each (mode, app, policy) cell once between them —
      * the keys embed the full canonical config string, so distinct
-     * configurations never collide. Ignored while traceDir or
-     * provenanceDir is set: a store hit skips the replay and with it
-     * the cell's file artifacts, which those options promise.
+     * configurations never collide. Ignored while traceDir,
+     * provenanceDir or timelineDir is set: a store hit skips the
+     * replay and with it the cell's file artifacts, which those
+     * options promise.
      */
     std::shared_ptr<CellStore> cellStore;
 };

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <deque>
 #include <iomanip>
+#include <iterator>
+#include <map>
 #include <sstream>
 #include <utility>
 
+#include "obs/tracing.hpp"
 #include "sim/drivers.hpp"
 #include "sim/execution_source.hpp"
 #include "sim/experiment.hpp"
@@ -25,6 +28,157 @@ policyHashLabel(const PolicyConfig &policy)
        << hashString(policyCacheKey(policy));
     return os.str();
 }
+
+/** Ascending (value, host) — a total order, so every sort below is
+ * deterministic even across equal values. */
+bool
+byValueThenHost(const FleetHostValue &a, const FleetHostValue &b)
+{
+    if (a.value != b.value)
+        return a.value < b.value;
+    return a.host < b.host;
+}
+
+/**
+ * Bounded candidate lists for one distribution's two tails. Hosts
+ * append as they finish; trim() keeps the kFleetOutlierCandidates
+ * most extreme per tail. The global top-K per tail is always a
+ * subset of the union of per-shard top-Ks, so shard-local trims
+ * lose nothing.
+ */
+struct TailCandidates
+{
+    std::vector<FleetHostValue> low;
+    std::vector<FleetHostValue> high;
+
+    void add(std::uint64_t host, double value)
+    {
+        low.push_back({host, value});
+        high.push_back({host, value});
+    }
+
+    void mergeFrom(TailCandidates &&other)
+    {
+        low.insert(low.end(), other.low.begin(), other.low.end());
+        high.insert(high.end(), other.high.begin(),
+                    other.high.end());
+        // Trim on every merge so the candidate lists stay O(K)
+        // however many shards fold in.
+        trim();
+    }
+
+    void trim()
+    {
+        std::sort(low.begin(), low.end(), byValueThenHost);
+        if (low.size() > kFleetOutlierCandidates)
+            low.resize(kFleetOutlierCandidates);
+        std::sort(high.begin(), high.end(), byValueThenHost);
+        if (high.size() > kFleetOutlierCandidates) {
+            high.erase(high.begin(),
+                       high.end() - static_cast<std::ptrdiff_t>(
+                                        kFleetOutlierCandidates));
+        }
+    }
+
+    /** Both tails as one candidate list (may repeat a host; the
+     * k·MAD filter dedups). */
+    std::vector<FleetHostValue> candidates() const
+    {
+        std::vector<FleetHostValue> all = low;
+        all.insert(all.end(), high.begin(), high.end());
+        return all;
+    }
+};
+
+/** Streaming across-hosts aggregate of one policy. */
+struct PolicyAccum
+{
+    obs::LogSketch energy;
+    obs::LogSketch saved;
+    obs::LogSketch hit;
+    obs::LogSketch miss;
+    double energySum = 0.0;
+    double savedSum = 0.0;
+    std::uint64_t shutdowns = 0;
+    std::uint64_t spinUps = 0;
+    TailCandidates savedTails;
+    TailCandidates missTails;
+
+    void mergeFrom(PolicyAccum &&other)
+    {
+        energy.merge(other.energy);
+        saved.merge(other.saved);
+        hit.merge(other.hit);
+        miss.merge(other.miss);
+        energySum += other.energySum;
+        savedSum += other.savedSum;
+        shutdowns += other.shutdowns;
+        spinUps += other.spinUps;
+        savedTails.mergeFrom(std::move(other.savedTails));
+        missTails.mergeFrom(std::move(other.missTails));
+    }
+};
+
+/** Everything one shard accumulates; folded host by host in index
+ * order, merged across shards in shard order. */
+struct ShardAccum
+{
+    std::uint64_t executions = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t opportunities = 0;
+    obs::LogSketch baseEnergy;
+    double baseSum = 0.0;
+    std::vector<PolicyAccum> policies;
+
+    explicit ShardAccum(std::size_t policyCount = 0)
+        : policies(policyCount)
+    {
+    }
+
+    void foldHost(const HostCellResult &cell)
+    {
+        executions += cell.executions;
+        accesses += cell.accesses;
+        // Idle opportunities are a property of the host's access
+        // stream, identical across drivers; count them once, from
+        // the baseline run.
+        opportunities += cell.base.accuracy.opportunities;
+        const double baseJoules = cell.base.energy.total();
+        baseEnergy.add(baseJoules);
+        baseSum += baseJoules;
+
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            PolicyAccum &accum = policies[p];
+            const RunResult &run = cell.policyRuns[p];
+            const double joules = run.energy.total();
+            const double savedFraction =
+                baseJoules > 0.0 ? 1.0 - joules / baseJoules : 0.0;
+            const double missFraction =
+                run.accuracy.missFraction();
+            accum.energy.add(joules);
+            accum.saved.add(savedFraction);
+            accum.hit.add(run.accuracy.hitFraction());
+            accum.miss.add(missFraction);
+            accum.energySum += joules;
+            accum.savedSum += savedFraction;
+            accum.shutdowns += run.shutdowns;
+            accum.spinUps += run.spinUps;
+            accum.savedTails.add(cell.host, savedFraction);
+            accum.missTails.add(cell.host, missFraction);
+        }
+    }
+
+    void mergeFrom(ShardAccum &&other)
+    {
+        executions += other.executions;
+        accesses += other.accesses;
+        opportunities += other.opportunities;
+        baseEnergy.merge(other.baseEnergy);
+        baseSum += other.baseSum;
+        for (std::size_t p = 0; p < policies.size(); ++p)
+            policies[p].mergeFrom(std::move(other.policies[p]));
+    }
+};
 
 } // namespace
 
@@ -50,6 +204,55 @@ percentilesOf(std::vector<double> values)
     result.p90 = rank(0.90);
     result.p99 = rank(0.99);
     return result;
+}
+
+FleetPercentiles
+percentilesOf(const obs::LogSketch &sketch)
+{
+    FleetPercentiles result;
+    result.p50 = sketch.quantile(0.50);
+    result.p90 = sketch.quantile(0.90);
+    result.p99 = sketch.quantile(0.99);
+    return result;
+}
+
+std::vector<FleetOutlier>
+flagOutliers(const std::string &metric,
+             const std::vector<FleetHostValue> &candidates,
+             double median, double mad, double madThreshold)
+{
+    // A zero MAD (half the fleet sitting exactly on the median)
+    // still has a meaningful center: any distinct value is then
+    // infinitely deviant, so the epsilon floor flags it.
+    const double unit = std::max(mad, 1e-12);
+    std::map<std::uint64_t, FleetOutlier> byHost;
+    for (const FleetHostValue &candidate : candidates) {
+        const double score =
+            std::abs(candidate.value - median) / unit;
+        if (score <= madThreshold)
+            continue;
+        FleetOutlier outlier;
+        outlier.host = candidate.host;
+        outlier.metric = metric;
+        outlier.value = candidate.value;
+        outlier.median = median;
+        outlier.score = score;
+        auto [it, inserted] =
+            byHost.emplace(candidate.host, outlier);
+        if (!inserted && score > it->second.score)
+            it->second = outlier;
+    }
+    std::vector<FleetOutlier> flagged;
+    flagged.reserve(byHost.size());
+    for (auto &[host, outlier] : byHost)
+        flagged.push_back(std::move(outlier));
+    std::sort(flagged.begin(), flagged.end(),
+              [](const FleetOutlier &a, const FleetOutlier &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.host < b.host;
+              });
+    return flagged;
 }
 
 FleetDriver::FleetDriver(workload::FleetConfig fleet, SimParams sim,
@@ -103,76 +306,107 @@ FleetReport
 FleetDriver::run(const std::vector<PolicyConfig> &policies) const
 {
     const auto hosts = static_cast<std::size_t>(fleet_.hosts);
+    const std::size_t shards =
+        (hosts + kFleetHostsPerShard - 1) / kFleetHostsPerShard;
 
-    // Positional sharding: worker i writes only cells[i], so the
-    // result is identical for every thread count.
-    std::vector<HostCellResult> cells(hosts);
-    pcap::parallelFor(options_.jobs, hosts, [&](std::size_t i) {
-        cells[i] = runHost(
-            workload::hostProfile(fleet_,
-                                  static_cast<std::uint64_t>(i)),
-            policies);
+    // Fixed-width shards, positionally owned: worker s writes only
+    // accums[s], and folds its hosts in index order. Shard
+    // boundaries depend on kFleetHostsPerShard alone — never on
+    // jobs — so every double accumulation happens in the same
+    // order at every thread count.
+    std::vector<ShardAccum> accums(
+        shards, ShardAccum(policies.size()));
+    std::vector<HostCellResult> kept(
+        options_.keepHostResults ? hosts : 0);
+    pcap::parallelFor(options_.jobs, shards, [&](std::size_t s) {
+        const std::size_t first = s * kFleetHostsPerShard;
+        const std::size_t last =
+            std::min(hosts, first + kFleetHostsPerShard);
+        obs::Span span("fleet-shard",
+                       "hosts " + std::to_string(first) + "-" +
+                           std::to_string(last - 1));
+        for (std::size_t i = first; i < last; ++i) {
+            HostCellResult cell = runHost(
+                workload::hostProfile(
+                    fleet_, static_cast<std::uint64_t>(i)),
+                policies);
+            accums[s].foldHost(cell);
+            if (options_.keepHostResults)
+                kept[i] = std::move(cell);
+        }
     });
+
+    // Serial merge in shard order: deterministic and cheap — O(K)
+    // sketch buckets and candidates per shard, not O(hosts).
+    ShardAccum total(policies.size());
+    for (ShardAccum &shard : accums)
+        total.mergeFrom(std::move(shard));
+    accums.clear();
 
     FleetReport report;
     report.hosts = fleet_.hosts;
-
-    std::vector<double> baseEnergy;
-    baseEnergy.reserve(hosts);
-    for (const HostCellResult &cell : cells) {
-        report.executions += cell.executions;
-        report.accesses += cell.accesses;
-        // Idle opportunities are a property of the host's access
-        // stream, identical across drivers; count them once, from
-        // the baseline run.
-        report.opportunities += cell.base.accuracy.opportunities;
-        baseEnergy.push_back(cell.base.energy.total());
-    }
-    double baseTotal = 0.0;
-    for (double j : baseEnergy)
-        baseTotal += j;
-    report.baseEnergyJ = percentilesOf(baseEnergy);
+    report.executions = total.executions;
+    report.accesses = total.accesses;
+    report.opportunities = total.opportunities;
+    report.baseEnergyJ = percentilesOf(total.baseEnergy);
     report.meanBaseEnergyJ =
-        hosts ? baseTotal / static_cast<double>(hosts) : 0.0;
+        hosts ? total.baseSum / static_cast<double>(hosts) : 0.0;
 
     for (std::size_t p = 0; p < policies.size(); ++p) {
+        PolicyAccum &accum = total.policies[p];
         FleetPolicyReport policyReport;
         policyReport.policy = policies[p].label;
-        std::vector<double> energy, saved, hit, miss;
-        energy.reserve(hosts);
-        saved.reserve(hosts);
-        hit.reserve(hosts);
-        miss.reserve(hosts);
-        double energyTotal = 0.0, savedTotal = 0.0;
-        for (const HostCellResult &cell : cells) {
-            const RunResult &run = cell.policyRuns[p];
-            const double joules = run.energy.total();
-            const double baseJoules = cell.base.energy.total();
-            const double savedFraction =
-                baseJoules > 0.0 ? 1.0 - joules / baseJoules : 0.0;
-            energy.push_back(joules);
-            saved.push_back(savedFraction);
-            hit.push_back(run.accuracy.hitFraction());
-            miss.push_back(run.accuracy.missFraction());
-            energyTotal += joules;
-            savedTotal += savedFraction;
-            policyReport.shutdowns += run.shutdowns;
-            policyReport.spinUps += run.spinUps;
-        }
-        policyReport.energyJ = percentilesOf(std::move(energy));
-        policyReport.savedFraction =
-            percentilesOf(std::move(saved));
-        policyReport.hitFraction = percentilesOf(std::move(hit));
-        policyReport.missFraction = percentilesOf(std::move(miss));
+        policyReport.energyJ = percentilesOf(accum.energy);
+        policyReport.savedFraction = percentilesOf(accum.saved);
+        policyReport.hitFraction = percentilesOf(accum.hit);
+        policyReport.missFraction = percentilesOf(accum.miss);
         policyReport.meanEnergyJ =
-            hosts ? energyTotal / static_cast<double>(hosts) : 0.0;
+            hosts ? accum.energySum / static_cast<double>(hosts)
+                  : 0.0;
         policyReport.meanSavedFraction =
-            hosts ? savedTotal / static_cast<double>(hosts) : 0.0;
+            hosts ? accum.savedSum / static_cast<double>(hosts)
+                  : 0.0;
+        policyReport.shutdowns = accum.shutdowns;
+        policyReport.spinUps = accum.spinUps;
+
+        policyReport.medianSavedFraction =
+            accum.saved.quantile(0.5);
+        policyReport.madSavedFraction =
+            accum.saved.medianAbsDeviation();
+        policyReport.medianMissFraction =
+            accum.miss.quantile(0.5);
+        policyReport.madMissFraction =
+            accum.miss.medianAbsDeviation();
+
+        policyReport.outliers = flagOutliers(
+            "saved_fraction", accum.savedTails.candidates(),
+            policyReport.medianSavedFraction,
+            policyReport.madSavedFraction,
+            options_.outlierMadThreshold);
+        std::vector<FleetOutlier> missOutliers = flagOutliers(
+            "miss_fraction", accum.missTails.candidates(),
+            policyReport.medianMissFraction,
+            policyReport.madMissFraction,
+            options_.outlierMadThreshold);
+        policyReport.outliers.insert(
+            policyReport.outliers.end(),
+            std::make_move_iterator(missOutliers.begin()),
+            std::make_move_iterator(missOutliers.end()));
+        std::sort(policyReport.outliers.begin(),
+                  policyReport.outliers.end(),
+                  [](const FleetOutlier &a, const FleetOutlier &b) {
+                      if (a.score != b.score)
+                          return a.score > b.score;
+                      if (a.host != b.host)
+                          return a.host < b.host;
+                      return a.metric < b.metric;
+                  });
+
         report.policies.push_back(std::move(policyReport));
     }
 
     if (options_.keepHostResults)
-        report.hostResults = std::move(cells);
+        report.hostResults = std::move(kept);
 
     recordMetrics(report, policies);
     return report;
@@ -224,6 +458,16 @@ FleetDriver::recordMetrics(
             .inc(policy.shutdowns);
         policyScope.counter("pcap_fleet_spin_ups_total")
             .inc(policy.spinUps);
+        policyScope.gauge("pcap_fleet_saved_fraction_median")
+            .set(policy.medianSavedFraction);
+        policyScope.gauge("pcap_fleet_saved_fraction_mad")
+            .set(policy.madSavedFraction);
+        policyScope.gauge("pcap_fleet_miss_fraction_median")
+            .set(policy.medianMissFraction);
+        policyScope.gauge("pcap_fleet_miss_fraction_mad")
+            .set(policy.madMissFraction);
+        policyScope.gauge("pcap_fleet_outlier_hosts")
+            .set(static_cast<double>(policy.outliers.size()));
     }
 }
 

@@ -7,14 +7,19 @@
  * no-power-management baseline — and replays its HostProfile's
  * workload through a HostExecutionSource: traces are generated,
  * filtered, replayed and discarded one execution at a time, so peak
- * memory is O(jobs) ExecutionInputs plus O(hosts) small summaries no
- * matter the fleet size.
+ * memory is O(jobs) ExecutionInputs plus O(shards) aggregation
+ * state no matter the fleet size.
  *
- * Host cells shard across the PR1 ThreadPool positionally (worker i
- * writes only slot i), so fleet results are bit-identical for every
- * thread count. The headline output is the across-hosts distribution
- * — energy and accuracy percentiles — rather than the paper's
- * per-app means.
+ * Aggregation streams too: hosts fold into fixed-size shard
+ * accumulators (integer counts, obs::LogSketch quantile sketches,
+ * bounded extreme-value candidate lists) the moment their cell
+ * finishes, and shards merge in index order on the calling thread —
+ * so across-hosts percentiles are bit-identical for every thread
+ * count without ever materializing a per-host vector. The shard
+ * width is a fixed constant (not derived from jobs) for the same
+ * reason. The headline output is the across-hosts distribution —
+ * energy and accuracy percentiles plus per-host outliers — rather
+ * than the paper's per-app means.
  */
 
 #ifndef PCAP_SIM_FLEET_HPP
@@ -25,13 +30,25 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/sketch.hpp"
 #include "sim/kernel.hpp"
 #include "sim/policy.hpp"
 #include "workload/host_profile.hpp"
 
 namespace pcap::sim {
 
-/** Nearest-rank percentiles of a per-host distribution. */
+/** Hosts folded into one shard accumulator. Fixed (independent of
+ * the thread count) so shard boundaries — and therefore the merge
+ * order and every double sum — never depend on jobs. */
+constexpr std::size_t kFleetHostsPerShard = 16;
+
+/** Extreme per-host values kept per distribution tail as outlier
+ * candidates; the k·MAD filter runs over these after the merge. A
+ * fleet with more than this many true outliers in one tail reports
+ * the most deviant kFleetOutlierCandidates of them. */
+constexpr std::size_t kFleetOutlierCandidates = 32;
+
+/** Percentiles of a per-host distribution (p50/p90/p99). */
 struct FleetPercentiles
 {
     double p50 = 0.0;
@@ -40,8 +57,43 @@ struct FleetPercentiles
 };
 
 /** Nearest-rank percentiles (p50/p90/p99) of @p values; all zeros
- * for an empty vector. Sorts a copy — deterministic by construction. */
+ * for an empty vector. Sorts a copy — deterministic by construction.
+ * The exact reference the sketch percentiles are tested against. */
 FleetPercentiles percentilesOf(std::vector<double> values);
+
+/** Percentiles read from a quantile sketch (within the sketch's
+ * relative accuracy of the nearest-rank answer). */
+FleetPercentiles percentilesOf(const obs::LogSketch &sketch);
+
+/** One host flagged as unhealthy for one distribution. */
+struct FleetOutlier
+{
+    std::uint64_t host = 0;
+    std::string metric; ///< "saved_fraction" or "miss_fraction"
+    double value = 0.0;
+    double median = 0.0; ///< distribution median at flag time
+    /** |value - median| in MAD units (the k of the k·MAD test). */
+    double score = 0.0;
+};
+
+/** One extreme-value candidate: a host and its metric value. */
+struct FleetHostValue
+{
+    std::uint64_t host = 0;
+    double value = 0.0;
+};
+
+/**
+ * Flag candidates whose |value - median| exceeds
+ * @p madThreshold · max(@p mad, epsilon), labelled @p metric.
+ * Returns flagged outliers sorted most-deviant first (score
+ * descending, host ascending on ties); duplicate hosts keep one
+ * entry. Pure — unit-testable without running a fleet.
+ */
+std::vector<FleetOutlier>
+flagOutliers(const std::string &metric,
+             const std::vector<FleetHostValue> &candidates,
+             double median, double mad, double madThreshold);
 
 /** Everything one host cell produced. */
 struct HostCellResult
@@ -74,8 +126,19 @@ struct FleetPolicyReport
     double meanEnergyJ = 0.0;
     double meanSavedFraction = 0.0;
 
+    /** Center/spread of the outlier-tested distributions. */
+    double medianSavedFraction = 0.0;
+    double madSavedFraction = 0.0;
+    double medianMissFraction = 0.0;
+    double madMissFraction = 0.0;
+
     std::uint64_t shutdowns = 0; ///< fleet total
     std::uint64_t spinUps = 0;   ///< fleet total
+
+    /** Hosts whose savings or miss rate sit more than
+     * FleetOptions::outlierMadThreshold MADs from the fleet median,
+     * most deviant first. */
+    std::vector<FleetOutlier> outliers;
 };
 
 /** The fleet run's aggregate output. */
@@ -99,8 +162,8 @@ struct FleetReport
 /** Knobs of a fleet run. */
 struct FleetOptions
 {
-    /** Worker threads host cells shard across; 1 = inline, 0 = the
-     * hardware count. */
+    /** Worker threads host shards spread across; 1 = inline, 0 =
+     * the hardware count. */
     unsigned jobs = 1;
 
     /** Registry the aggregate fleet metrics are recorded into
@@ -113,12 +176,17 @@ struct FleetOptions
      * (tests, forensics). Off by default: memory then stays bounded
      * regardless of fleet size. */
     bool keepHostResults = false;
+
+    /** A host is an outlier when its value sits more than this many
+     * MADs from the fleet median (the robust z-score cut; 3.5 is
+     * the conventional Iglewicz-Hoaglin threshold). */
+    double outlierMadThreshold = 3.5;
 };
 
 /**
  * Runs a whole fleet. Deterministic: the report is a pure function
- * of (fleet config, sim params, cache params, policies) — never of
- * jobs.
+ * of (fleet config, sim params, cache params, policies, options
+ * other than jobs) — never of jobs.
  */
 class FleetDriver
 {

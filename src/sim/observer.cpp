@@ -500,6 +500,161 @@ MetricsObserver::onSpinUpServed(TimeUs time, TimeUs delay)
 }
 
 // ---------------------------------------------------------------
+// TimelineObserver
+// ---------------------------------------------------------------
+
+static_assert(obs::kTimelineStates == 4,
+              "timeline state rows must cover power::DiskState");
+static_assert(obs::kTimelineOutcomes == 6,
+              "timeline outcome rows must cover sim::IdleOutcome");
+
+namespace {
+
+/** Power draw of @p state in watts. */
+double
+stateDrawW(const power::DiskParams &disk, power::DiskState state)
+{
+    switch (state) {
+      case power::DiskState::Active: return disk.busyPowerW;
+      case power::DiskState::Idle: return disk.idlePowerW;
+      case power::DiskState::LowPower: return disk.lowPowerIdleW;
+      case power::DiskState::Standby: return disk.standbyPowerW;
+    }
+    return 0.0;
+}
+
+} // namespace
+
+TimelineObserver::TimelineObserver(const power::DiskParams &disk,
+                                   bool trackDisk,
+                                   std::size_t buckets)
+    : timeline_(buckets), disk_(disk), trackDisk_(trackDisk)
+{
+}
+
+void
+TimelineObserver::bindTableSize(std::function<std::size_t()> query)
+{
+    tableSize_ = std::move(query);
+}
+
+obs::TimelineMeta
+TimelineObserver::makeMeta(std::string cell, std::string mode,
+                           std::string app, std::string policy)
+{
+    obs::TimelineMeta meta;
+    meta.cell = std::move(cell);
+    meta.mode = std::move(mode);
+    meta.app = std::move(app);
+    meta.policy = std::move(policy);
+    meta.stateNames = {"active", "idle", "low_power", "standby"};
+    for (std::size_t i = 0; i < obs::kTimelineOutcomes; ++i) {
+        meta.outcomeNames.push_back(
+            idleOutcomeName(static_cast<IdleOutcome>(i)));
+    }
+    // Energy rows: per-state draw in DiskState order, plus the
+    // spin-down/spin-up/head-load transition costs.
+    meta.energyNames = {"active", "idle", "low_power", "standby",
+                        "transition"};
+    return meta;
+}
+
+void
+TimelineObserver::accrue(power::DiskState state, TimeUs startUs,
+                         TimeUs endUs)
+{
+    if (endUs <= startUs)
+        return;
+    const std::size_t row = static_cast<std::size_t>(state);
+    timeline_.addStateResidency(row, startUs, endUs);
+    timeline_.addEnergy(row, startUs, endUs,
+                        stateDrawW(disk_, state) *
+                            usToSeconds(endUs - startUs));
+}
+
+void
+TimelineObserver::sampleTable(TimeUs atUs)
+{
+    if (tableSize_)
+        timeline_.sampleTable(atUs, tableSize_());
+}
+
+void
+TimelineObserver::onExecutionBegin(const ExecutionInput &input)
+{
+    (void)input;
+    // A fresh PowerManagedDisk starts Idle at time zero.
+    lastState_ = power::DiskState::Idle;
+    lastChange_ = 0;
+    sampleTable(offset_);
+}
+
+void
+TimelineObserver::onExecutionEnd(const ExecutionInput &input,
+                                 const RunResult &result)
+{
+    (void)result;
+    if (trackDisk_) {
+        // No transition fires at finish; close the final state's
+        // residency by hand, as MetricsObserver does.
+        accrue(lastState_, offset_ + lastChange_,
+               offset_ + input.endTime);
+    }
+    offset_ += input.endTime;
+    sampleTable(offset_ > 0 ? offset_ - 1 : 0);
+}
+
+void
+TimelineObserver::onIdlePeriod(const IdlePeriodRecord &record)
+{
+    timeline_.countOutcome(
+        static_cast<std::size_t>(record.outcome),
+        offset_ + record.end);
+    sampleTable(offset_ + record.end);
+}
+
+void
+TimelineObserver::onShutdownIssued(TimeUs at)
+{
+    timeline_.countShutdown(offset_ + at);
+}
+
+void
+TimelineObserver::onDiskStateChange(TimeUs time,
+                                    power::DiskState from,
+                                    power::DiskState to)
+{
+    if (!trackDisk_)
+        return;
+    accrue(lastState_, offset_ + lastChange_, offset_ + time);
+    // Transition costs land at the instant of the change: entering
+    // standby pays the spin-down, leaving it pays the spin-up, and
+    // re-loading the heads out of low power pays the exit energy.
+    double transitionJ = 0.0;
+    if (to == power::DiskState::Standby)
+        transitionJ += disk_.shutdownEnergyJ;
+    if (from == power::DiskState::Standby)
+        transitionJ += disk_.spinUpEnergyJ;
+    if (from == power::DiskState::LowPower &&
+        to != power::DiskState::Standby)
+        transitionJ += disk_.lowPowerExitEnergyJ;
+    if (transitionJ > 0.0) {
+        timeline_.addEnergy(obs::kTimelineEnergyTransition,
+                            offset_ + time, offset_ + time,
+                            transitionJ);
+    }
+    lastState_ = to;
+    lastChange_ = time;
+}
+
+void
+TimelineObserver::onSpinUpServed(TimeUs time, TimeUs delay)
+{
+    (void)delay;
+    timeline_.countSpinUp(offset_ + time);
+}
+
+// ---------------------------------------------------------------
 // IdleHistogramObserver
 // ---------------------------------------------------------------
 

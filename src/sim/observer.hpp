@@ -25,6 +25,7 @@
 #include "core/provenance_tap.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
+#include "obs/timeline.hpp"
 #include "power/disk.hpp"
 #include "power/disk_params.hpp"
 #include "pred/predictor.hpp"
@@ -349,6 +350,75 @@ class MetricsObserver final : public SimObserver
     std::uint64_t localBatches_ = 0;
     std::uint64_t localBatchEvents_ = 0;
 
+    power::DiskState lastState_ = power::DiskState::Idle;
+    TimeUs lastChange_ = 0;
+};
+
+/**
+ * Folds one cell's replay into an obs::Timeline over *simulated*
+ * time: power-state residency, energy by category (per-state draw
+ * plus transition costs), idle-period outcomes, shutdowns/spin-ups
+ * and sampled prediction-table size. The bench_all --timeline-dir
+ * sink; answers "when during the run" where MetricsObserver answers
+ * "how much in total".
+ *
+ * Executions are laid end to end on one continuous timeline (an
+ * execution beginning at simulated 0 continues at the accumulated
+ * offset of every prior execution's end time), so a cell's document
+ * covers the whole replay. Energy here is attributed by state and
+ * split linearly across buckets — it reconciles with the
+ * EnergyLedger total but categorizes by state, not by the paper's
+ * Figure 8 gap taxonomy.
+ */
+class TimelineObserver final : public SimObserver
+{
+  public:
+    /**
+     * @param disk      Power draws for per-state energy attribution.
+     * @param trackDisk False for diskless replays (local accuracy):
+     *                  skips residency and energy, keeps outcomes.
+     * @param buckets   Timeline resolution (even, >= 2).
+     */
+    explicit TimelineObserver(const power::DiskParams &disk,
+                              bool trackDisk = true,
+                              std::size_t buckets = 256);
+
+    /** Bind the prediction-table size query (e.g. a session's
+     * tableEntries()); sampled at execution boundaries and after
+     * every classified idle period. Optional. */
+    void bindTableSize(std::function<std::size_t()> query);
+
+    void onExecutionBegin(const ExecutionInput &input) override;
+    void onExecutionEnd(const ExecutionInput &input,
+                        const RunResult &result) override;
+    void onIdlePeriod(const IdlePeriodRecord &record) override;
+    void onShutdownIssued(TimeUs at) override;
+    void onDiskStateChange(TimeUs time, power::DiskState from,
+                           power::DiskState to) override;
+    void onSpinUpServed(TimeUs time, TimeUs delay) override;
+
+    const obs::Timeline &timeline() const { return timeline_; }
+
+    /** Meta block with the canonical sim-side name tables (disk
+     * states, idle outcomes, energy rows) filled in. */
+    static obs::TimelineMeta makeMeta(std::string cell,
+                                      std::string mode,
+                                      std::string app,
+                                      std::string policy);
+
+  private:
+    /** Accrue residency + state-draw energy over [start, end). */
+    void accrue(power::DiskState state, TimeUs startUs,
+                TimeUs endUs);
+
+    void sampleTable(TimeUs atUs);
+
+    obs::Timeline timeline_;
+    power::DiskParams disk_;
+    bool trackDisk_;
+    std::function<std::size_t()> tableSize_;
+
+    TimeUs offset_ = 0; ///< summed end times of prior executions
     power::DiskState lastState_ = power::DiskState::Idle;
     TimeUs lastChange_ = 0;
 };

@@ -15,6 +15,35 @@ std::atomic<std::uint64_t> gTasksExecuted{0};
 std::atomic<std::uint64_t> gTaskNanos{0};
 std::atomic<std::uint64_t> gPeakQueueDepth{0};
 
+// The two halves of the installed TaskHook, stored as separate
+// atomics so readers never need a lock. Torn reads across the pair
+// are benign: each half is checked for null before use, and the
+// contract is to install the hook before submitting work.
+std::atomic<void *(*)()> gHookBegin{nullptr};
+std::atomic<void (*)(void *)> gHookEnd{nullptr};
+
+/** Runs the installed hook around one task, exception-safely. */
+class TaskHookGuard
+{
+  public:
+    TaskHookGuard()
+    {
+        auto *begin = gHookBegin.load(std::memory_order_acquire);
+        if (begin)
+            token_ = begin();
+    }
+
+    ~TaskHookGuard()
+    {
+        auto *end = gHookEnd.load(std::memory_order_acquire);
+        if (end)
+            end(token_);
+    }
+
+  private:
+    void *token_ = nullptr;
+};
+
 void
 notePeakDepth(std::uint64_t depth)
 {
@@ -40,8 +69,16 @@ ThreadPool::globalStats()
 }
 
 void
+ThreadPool::setTaskHook(TaskHook hook)
+{
+    gHookBegin.store(hook.begin, std::memory_order_release);
+    gHookEnd.store(hook.end, std::memory_order_release);
+}
+
+void
 ThreadPool::runCounted(const std::function<void()> &task)
 {
+    TaskHookGuard hook;
     const auto start = std::chrono::steady_clock::now();
     task();
     const auto elapsed = std::chrono::steady_clock::now() - start;

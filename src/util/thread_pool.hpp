@@ -57,6 +57,25 @@ class ThreadPool
     static GlobalStats globalStats();
 
     /**
+     * Optional process-wide observation hook around task execution:
+     * begin() runs on the executing thread just before a task,
+     * end(token) runs right after with begin's return value — even
+     * when the task throws. Plain function pointers (not
+     * std::function) so installing and invoking stay lock-free;
+     * util cannot depend on obs, so the tracer installs itself
+     * through this seam (obs::installThreadPoolTraceHook).
+     */
+    struct TaskHook {
+        void *(*begin)() = nullptr;
+        void (*end)(void *token) = nullptr;
+    };
+
+    /** Install @p hook for every subsequently executed task; a
+     * default-constructed hook uninstalls. Not synchronized with
+     * running tasks — install before submitting work. */
+    static void setTaskHook(TaskHook hook);
+
+    /**
      * @param jobs Number of worker threads; 0 and 1 both mean "run
      *        everything inline on the calling thread".
      */

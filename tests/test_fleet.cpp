@@ -285,6 +285,22 @@ TEST(FleetDriver, DeterministicAcrossThreadCounts)
                          b.meanSavedFraction);
         EXPECT_EQ(a.shutdowns, b.shutdowns);
         EXPECT_EQ(a.spinUps, b.spinUps);
+
+        EXPECT_DOUBLE_EQ(a.medianSavedFraction,
+                         b.medianSavedFraction);
+        EXPECT_DOUBLE_EQ(a.madSavedFraction, b.madSavedFraction);
+        EXPECT_DOUBLE_EQ(a.medianMissFraction,
+                         b.medianMissFraction);
+        EXPECT_DOUBLE_EQ(a.madMissFraction, b.madMissFraction);
+        ASSERT_EQ(a.outliers.size(), b.outliers.size());
+        for (std::size_t o = 0; o < a.outliers.size(); ++o) {
+            EXPECT_EQ(a.outliers[o].host, b.outliers[o].host);
+            EXPECT_EQ(a.outliers[o].metric, b.outliers[o].metric);
+            EXPECT_DOUBLE_EQ(a.outliers[o].value,
+                             b.outliers[o].value);
+            EXPECT_DOUBLE_EQ(a.outliers[o].score,
+                             b.outliers[o].score);
+        }
     }
 
     ASSERT_EQ(serial.hostResults.size(),
@@ -315,13 +331,103 @@ TEST(FleetPercentiles, NearestRankIsExact)
     EXPECT_DOUBLE_EQ(p.p90, 90.0);
     EXPECT_DOUBLE_EQ(p.p99, 99.0);
 
-    const auto single = percentilesOf({3.5});
+    const auto single = percentilesOf(std::vector<double>{3.5});
     EXPECT_DOUBLE_EQ(single.p50, 3.5);
     EXPECT_DOUBLE_EQ(single.p99, 3.5);
 
-    const auto empty = percentilesOf({});
+    const auto empty = percentilesOf(std::vector<double>{});
     EXPECT_DOUBLE_EQ(empty.p50, 0.0);
     EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+}
+
+TEST(FleetSketch, PercentilesMatchNearestRankWithinAccuracy)
+{
+    // Re-derive every per-host value the streaming path sketches
+    // from the retained host cells, and require the sketch-read
+    // percentiles to sit within the sketch's relative accuracy of
+    // the exact nearest-rank answer.
+    workload::FleetConfig fleet;
+    fleet.fleetSeed = 21;
+    fleet.hosts = 64;
+    fleet.executionsMin = 1;
+    fleet.executionsMax = 2;
+    fleet.maxExecutionsPerApp = 0;
+
+    const std::vector<PolicyConfig> policies = {
+        PolicyConfig::timeoutPolicy(),
+        PolicyConfig::pcapFdHistory(),
+    };
+    ExperimentConfig config;
+    FleetOptions options;
+    options.jobs = 2;
+    options.keepHostResults = true;
+
+    const FleetReport report =
+        FleetDriver(fleet, config.sim, config.cache, options)
+            .run(policies);
+    ASSERT_EQ(report.hostResults.size(), fleet.hosts);
+
+    const double accuracy = obs::LogSketch().relativeAccuracy();
+    auto expectClose = [&](const FleetPercentiles &sketched,
+                           std::vector<double> values) {
+        const FleetPercentiles exact = percentilesOf(values);
+        for (auto pick : {&FleetPercentiles::p50,
+                          &FleetPercentiles::p90,
+                          &FleetPercentiles::p99}) {
+            const double want = exact.*pick;
+            EXPECT_NEAR(sketched.*pick, want,
+                        accuracy * std::abs(want) + 1e-12);
+        }
+    };
+
+    std::vector<double> baseValues;
+    for (const auto &cell : report.hostResults)
+        baseValues.push_back(cell.base.energy.total());
+    expectClose(report.baseEnergyJ, baseValues);
+
+    ASSERT_EQ(report.policies.size(), policies.size());
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        std::vector<double> energy, saved, miss;
+        for (const auto &cell : report.hostResults) {
+            const double baseJ = cell.base.energy.total();
+            const double j = cell.policyRuns[p].energy.total();
+            energy.push_back(j);
+            saved.push_back(baseJ > 0.0 ? 1.0 - j / baseJ : 0.0);
+            miss.push_back(
+                cell.policyRuns[p].accuracy.missFraction());
+        }
+        expectClose(report.policies[p].energyJ, energy);
+        expectClose(report.policies[p].savedFraction, saved);
+        expectClose(report.policies[p].missFraction, miss);
+    }
+}
+
+TEST(FleetOutliers, FlagsByMadScoreAndOrdersDeterministically)
+{
+    // Median 1.0, MAD 0.1: 2.0 scores 10, 0.5 scores 5, 1.2
+    // scores 2 (below the cut).
+    const std::vector<FleetHostValue> candidates = {
+        {7, 1.2}, {3, 2.0}, {5, 0.5}, {3, 1.9}};
+    const auto flagged =
+        flagOutliers("saved_fraction", candidates, 1.0, 0.1, 3.5);
+    ASSERT_EQ(flagged.size(), 2u);
+    EXPECT_EQ(flagged[0].host, 3u);
+    EXPECT_DOUBLE_EQ(flagged[0].value, 2.0);
+    EXPECT_NEAR(flagged[0].score, 10.0, 1e-9);
+    EXPECT_EQ(flagged[0].metric, "saved_fraction");
+    EXPECT_EQ(flagged[1].host, 5u);
+    EXPECT_NEAR(flagged[1].score, 5.0, 1e-9);
+
+    // A zero MAD (constant distribution) must not divide by zero;
+    // any deviation is then effectively infinite-score.
+    const auto degenerate = flagOutliers(
+        "miss_fraction", {{1, 0.2}, {2, 0.0}}, 0.0, 0.0, 3.5);
+    ASSERT_EQ(degenerate.size(), 1u);
+    EXPECT_EQ(degenerate[0].host, 1u);
+    EXPECT_GT(degenerate[0].score, 1e6);
+
+    EXPECT_TRUE(
+        flagOutliers("m", {}, 0.0, 0.0, 3.5).empty());
 }
 
 TEST(TraceStore, RetentionScopeEvictsAndAccountsBytes)

@@ -704,8 +704,11 @@ TEST(TraceObserver, JsonlRecordsReconcileWithAccuracyStats)
         trace_path = entry.path();
     }
     ASSERT_EQ(files, 1);
+    // maxExecutions = 2 is a non-default experiment config, so the
+    // stem carries a -c<confighash> digest between app and policy.
     const std::string name = trace_path.filename().string();
-    EXPECT_EQ(name.rfind("global-mozilla-PCAP-", 0), 0u) << name;
+    EXPECT_EQ(name.rfind("global-mozilla-c", 0), 0u) << name;
+    EXPECT_NE(name.find("-PCAP-"), std::string::npos) << name;
 
     std::ifstream trace(trace_path);
     ASSERT_TRUE(trace);

@@ -25,10 +25,20 @@ shared/noisy runners where wall time is advisory.
 When both files carry a top-level "fleet" block (bench_all --report
 fleet) the generic key comparison requires it to be identical, and
 the candidate's block is schema-checked (pcap-fleet-v1).
+
+--timeline-dir DIR schema-checks every *.timeline.json the
+candidate run wrote with bench_all --timeline-dir: pcap-timeline-v1
+schema, positive bucket width, series lengths equal to the bucket
+count, per-bucket state residency bounded by the bucket width, and
+non-negative counts and energies (so cumulative energy is
+non-decreasing over simulated time). An empty directory is an
+error -- a timeline-instrumentation regression must not pass.
 """
 
 import argparse
+import glob
 import json
+import os
 import re
 import sys
 
@@ -110,6 +120,95 @@ def check_fleet(got, errors):
                     q in percentiles for q in ("p50", "p90", "p99")):
                 errors.append(f"fleet policy {label}: {field} lacks "
                               f"p50/p90/p99")
+        outliers = policy.get("outliers")
+        if not isinstance(outliers, list):
+            errors.append(f"fleet policy {label}: no outliers list")
+            continue
+        for outlier in outliers:
+            if not all(field in outlier
+                       for field in ("host", "metric", "value",
+                                     "median", "score")):
+                errors.append(f"fleet policy {label}: outlier entry "
+                              f"lacks host/metric/value/median/score")
+                break
+
+
+def check_timeline_doc(path, doc, errors):
+    """Invariants of one pcap-timeline-v1 document."""
+    name = os.path.basename(path)
+    if doc.get("schema") != "pcap-timeline-v1":
+        errors.append(f"{name}: schema {doc.get('schema')!r} "
+                      f"!= 'pcap-timeline-v1'")
+        return
+    buckets = doc.get("buckets")
+    width = doc.get("bucket_width_us")
+    if not isinstance(buckets, int) or buckets < 2:
+        errors.append(f"{name}: buckets {buckets!r} is not >= 2")
+        return
+    if not isinstance(width, (int, float)) or width <= 0:
+        errors.append(f"{name}: bucket_width_us {width!r} "
+                      f"is not > 0")
+        return
+    used = doc.get("used_buckets")
+    if not isinstance(used, int) or not 0 <= used <= buckets:
+        errors.append(f"{name}: used_buckets {used!r} outside "
+                      f"[0, {buckets}]")
+    series = doc.get("series")
+    if not isinstance(series, dict):
+        errors.append(f"{name}: no series object")
+        return
+    flat = {}
+    for group in ("state_us", "outcomes", "energy_j"):
+        members = series.get(group)
+        if not isinstance(members, dict) or not members:
+            errors.append(f"{name}: series.{group} missing or empty")
+            return
+        for key, values in members.items():
+            flat[f"{group}.{key}"] = values
+    for key in ("shutdowns", "spin_ups", "table_entries"):
+        flat[key] = series.get(key)
+    for key, values in flat.items():
+        if not isinstance(values, list) or len(values) != buckets:
+            errors.append(f"{name}: series {key} is not a list of "
+                          f"{buckets} buckets")
+            return
+    for key, values in flat.items():
+        # Every series is non-negative (table_entries uses -1 for
+        # "not sampled"), so each cumulative sum -- energy over
+        # simulated time in particular -- is non-decreasing.
+        floor = -1 if key == "table_entries" else 0
+        bad = [v for v in values if v < floor]
+        if bad:
+            errors.append(f"{name}: series {key} has value "
+                          f"{bad[0]!r} < {floor}")
+    for i in range(buckets):
+        residency = sum(series["state_us"][state][i]
+                        for state in series["state_us"])
+        if residency > width:
+            errors.append(f"{name}: bucket {i} residency "
+                          f"{residency} us exceeds bucket width "
+                          f"{width} us")
+            break
+
+
+def check_timeline(timeline_dir, errors):
+    """Every timeline dump in the directory, at least one."""
+    paths = sorted(glob.glob(
+        os.path.join(timeline_dir, "*.timeline.json")))
+    if not paths:
+        errors.append(f"no *.timeline.json files in {timeline_dir}")
+        return
+    checked_before = len(errors)
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            errors.append(f"{path}: {err}")
+            continue
+        check_timeline_doc(path, doc, errors)
+    if len(errors) == checked_before:
+        print(f"timeline ok: {len(paths)} dumps in {timeline_dir}")
 
 
 def parse_budget(text):
@@ -177,6 +276,9 @@ def main():
     parser.add_argument("--timing-warn-only", action="store_true",
                         help="blown timing budgets warn instead of "
                              "failing (shared/noisy runners)")
+    parser.add_argument("--timeline-dir", metavar="DIR",
+                        help="schema-check the candidate run's "
+                             "*.timeline.json dumps in DIR")
     args = parser.parse_args()
     if (args.max_any_report_seconds is not None
             and args.max_any_report_seconds <= 0):
@@ -197,6 +299,8 @@ def main():
     if not args.allow_missing_metrics:
         check_metrics(got, errors)
     check_fleet(got, errors)
+    if args.timeline_dir:
+        check_timeline(args.timeline_dir, errors)
     check_budgets(got, args.max_report_seconds,
                   args.max_any_report_seconds,
                   args.timing_warn_only, errors)

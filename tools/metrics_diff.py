@@ -41,6 +41,10 @@ DEFAULT_IGNORE = (
     r"wall|thread_pool|workload_cache|workload_generated"
     r"|trace_store"
     r"|pcap_sim_batch_flush_seconds.*/seconds"
+    # Span-tracer volume depends on scheduling (pool-task spans, ring
+    # drops); timelines are opt-in artifacts checked by
+    # compare_bench.py --timeline-dir, not a metrics family to diff.
+    r"|pcap_trace_profile|pcap_timeline"
 )
 
 

@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""Render pcap-timeline-v1 dumps as a self-contained HTML report.
+
+Usage: pcap_timeline.py TIMELINE_DIR [options]
+
+Reads every *.timeline.json written by `bench_all --timeline-dir`
+and renders one HTML page of small multiples -- per simulation cell,
+an SVG stacked-area chart of disk power-state residency over
+simulated time, with energy-by-category and idle-outcome sparklines
+underneath. With --bench-results pointing at a BENCH_RESULTS.json
+that contains a fleet block, a fleet-health section (percentile
+table + outlier hosts) is appended.
+
+Stdlib only; the output HTML has no external references, so it can
+be archived as a CI artifact and opened anywhere.
+
+Exit status: 0 on success, 2 on bad input (no timeline files,
+unreadable JSON, wrong schema).
+"""
+
+import argparse
+import html
+import json
+import pathlib
+import sys
+
+SCHEMA = "pcap-timeline-v1"
+
+STATE_COLORS = {
+    "active": "#d9534f",
+    "idle": "#f0ad4e",
+    "low_power": "#5bc0de",
+    "standby": "#5cb85c",
+}
+FALLBACK_COLOR = "#999999"
+
+CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif;
+       margin: 1.5em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+.cell { display: inline-block; vertical-align: top;
+        margin: 0 1.2em 1.2em 0; padding: 0.6em;
+        border: 1px solid #ddd; border-radius: 4px; }
+.cell .title { font-weight: 600; font-size: 0.85em; }
+.cell .sub { color: #777; font-size: 0.75em; margin-bottom: 0.3em; }
+.legend span { display: inline-block; margin-right: 0.8em;
+               font-size: 0.75em; }
+.legend i { display: inline-block; width: 0.8em; height: 0.8em;
+            margin-right: 0.25em; border-radius: 2px; }
+table { border-collapse: collapse; font-size: 0.85em; }
+th, td { border: 1px solid #ddd; padding: 0.25em 0.6em;
+         text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+.spark-label { font-size: 0.7em; color: #777; }
+"""
+
+
+def fail(message):
+    print(f"pcap_timeline.py: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_timelines(timeline_dir):
+    root = pathlib.Path(timeline_dir)
+    if not root.is_dir():
+        fail(f"not a directory: {timeline_dir}")
+    docs = []
+    for path in sorted(root.glob("*.timeline.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            fail(f"{path}: {err}")
+        if doc.get("schema") != SCHEMA:
+            fail(f"{path}: schema {doc.get('schema')!r}, "
+                 f"want {SCHEMA!r}")
+        docs.append(doc)
+    if not docs:
+        fail(f"no *.timeline.json files in {timeline_dir}")
+    return docs
+
+
+def polygon(points, color, opacity="1"):
+    coords = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+    return (f'<polygon points="{coords}" fill="{color}" '
+            f'fill-opacity="{opacity}"/>')
+
+
+def residency_svg(doc, width=360, height=90):
+    """Stacked-area of per-state residency fractions per bucket."""
+    series = doc["series"]["state_us"]
+    used = max(doc["used_buckets"], 1)
+    bucket_w = doc["bucket_width_us"]
+    names = doc.get("state_names") or list(series)
+    xstep = width / used
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'viewBox="0 0 {width} {height}">',
+             f'<rect width="{width}" height="{height}" '
+             f'fill="#fafafa"/>']
+    # One polygon per state, stacked bottom-up on the cumulative
+    # fraction of the bucket already covered by earlier states.
+    base = [0.0] * used
+    for name in names:
+        values = series.get(name)
+        if values is None:
+            continue
+        top = [base[i] + values[i] / bucket_w for i in range(used)]
+        points = [(i * xstep, height * (1 - base[i]))
+                  for i in range(used)]
+        points.append(((used - 1) * xstep + xstep,
+                       height * (1 - base[-1])))
+        points.append(((used - 1) * xstep + xstep,
+                       height * (1 - top[-1])))
+        points.extend((i * xstep, height * (1 - top[i]))
+                      for i in reversed(range(used)))
+        color = STATE_COLORS.get(name, FALLBACK_COLOR)
+        parts.append(polygon(points, color, "0.85"))
+        base = top
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def sparkline(values, width=360, height=24, color="#337ab7"):
+    """Bar sparkline of one per-bucket series."""
+    if not values:
+        return ""
+    peak = max(values) or 1
+    xstep = width / len(values)
+    bars = [f'<svg width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}">']
+    for i, v in enumerate(values):
+        h = height * v / peak
+        if h <= 0:
+            continue
+        bars.append(f'<rect x="{i * xstep:.1f}" '
+                    f'y="{height - h:.1f}" '
+                    f'width="{max(xstep - 0.5, 0.5):.1f}" '
+                    f'height="{h:.1f}" fill="{color}"/>')
+    bars.append("</svg>")
+    return "".join(bars)
+
+
+def fmt_span(span_us):
+    seconds = span_us / 1e6
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f} h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f} min"
+    return f"{seconds:.1f} s"
+
+
+def cell_html(doc):
+    used = doc["used_buckets"]
+    series = doc["series"]
+    energy = [sum(vals[i] for vals in series["energy_j"].values())
+              for i in range(used)]
+    misses = [series["outcomes"].get("miss_primary",
+                                     [0] * used)[i] +
+              series["outcomes"].get("miss_backup", [0] * used)[i]
+              for i in range(used)]
+    total_j = sum(sum(v) for v in series["energy_j"].values())
+    title = html.escape(doc.get("cell", "?"))
+    sub = (f'{html.escape(doc.get("mode", "?"))} / '
+           f'{html.escape(doc.get("app", "?"))}'
+           f' &middot; span {fmt_span(doc["span_us"])}'
+           f' &middot; {total_j:.0f} J'
+           f' &middot; {doc["rescales"]} rescales')
+    return (f'<div class="cell"><div class="title">{title}</div>'
+            f'<div class="sub">{sub}</div>'
+            f'{residency_svg(doc)}'
+            f'<div class="spark-label">energy (J / bucket)</div>'
+            f'{sparkline(energy[:used])}'
+            f'<div class="spark-label">mispredictions / bucket'
+            f'</div>'
+            f'{sparkline(misses, color="#d9534f")}'
+            f'</div>')
+
+
+def legend_html():
+    spans = "".join(
+        f'<span><i style="background:{color}"></i>{name}</span>'
+        for name, color in STATE_COLORS.items())
+    return f'<div class="legend">{spans}</div>'
+
+
+def fleet_html(bench_results_path):
+    try:
+        doc = json.loads(
+            pathlib.Path(bench_results_path).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{bench_results_path}: {err}")
+    fleet = doc.get("fleet")
+    if not fleet:
+        return ("<h2>Fleet health</h2><p>No fleet block in "
+                f"{html.escape(str(bench_results_path))} (run "
+                "bench_all --report fleet).</p>")
+    parts = ["<h2>Fleet health</h2>",
+             f'<p>{fleet["hosts"]} hosts, '
+             f'{fleet["executions"]} executions.</p>',
+             "<table><tr><th>policy</th><th>saved p50</th>"
+             "<th>saved p90</th><th>saved p99</th>"
+             "<th>saved median</th><th>saved MAD</th>"
+             "<th>miss median</th><th>miss MAD</th>"
+             "<th>outliers</th></tr>"]
+    for policy in fleet.get("policies", []):
+        saved = policy["saved_fraction"]
+        parts.append(
+            f'<tr><td>{html.escape(policy["policy"])}</td>'
+            f'<td>{saved["p50"]:.1%}</td>'
+            f'<td>{saved["p90"]:.1%}</td>'
+            f'<td>{saved["p99"]:.1%}</td>'
+            f'<td>{policy["saved_fraction_median"]:.1%}</td>'
+            f'<td>{policy["saved_fraction_mad"]:.1%}</td>'
+            f'<td>{policy["miss_fraction_median"]:.1%}</td>'
+            f'<td>{policy["miss_fraction_mad"]:.1%}</td>'
+            f'<td>{len(policy.get("outliers", []))}</td></tr>')
+    parts.append("</table>")
+    outliers = [(policy["policy"], o)
+                for policy in fleet.get("policies", [])
+                for o in policy.get("outliers", [])]
+    if outliers:
+        parts.append("<h2>Outlier hosts</h2>"
+                     "<table><tr><th>policy</th><th>host</th>"
+                     "<th>metric</th><th>value</th><th>median</th>"
+                     "<th>score (MADs)</th></tr>")
+        for name, o in outliers:
+            parts.append(
+                f'<tr><td>{html.escape(name)}</td>'
+                f'<td>{o["host"]}</td>'
+                f'<td>{html.escape(o["metric"])}</td>'
+                f'<td>{o["value"]:.1%}</td>'
+                f'<td>{o["median"]:.1%}</td>'
+                f'<td>{o["score"]:.1f}</td></tr>')
+        parts.append("</table>")
+    return "".join(parts)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("timeline_dir",
+                        help="directory of *.timeline.json dumps")
+    parser.add_argument("-o", "--out", default="timeline.html",
+                        help="output HTML path "
+                             "(default: timeline.html)")
+    parser.add_argument("--bench-results",
+                        help="BENCH_RESULTS.json to read the fleet "
+                             "block from (optional)")
+    args = parser.parse_args()
+
+    docs = load_timelines(args.timeline_dir)
+    docs.sort(key=lambda d: (d.get("app", ""), d.get("mode", ""),
+                             d.get("policy", "")))
+
+    body = [f"<h1>pcap timelines &mdash; {len(docs)} cells</h1>",
+            legend_html()]
+    body.extend(cell_html(doc) for doc in docs)
+    if args.bench_results:
+        body.append(fleet_html(args.bench_results))
+
+    page = ("<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            "<title>pcap timelines</title>"
+            f"<style>{CSS}</style></head><body>"
+            f"{''.join(body)}</body></html>")
+    pathlib.Path(args.out).write_text(page)
+    print(f"wrote {args.out}: {len(docs)} cells")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

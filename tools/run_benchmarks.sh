@@ -9,7 +9,10 @@
 #   3. every report is checked against an enforced wall-time budget
 #      (generous — the gate catches order-of-magnitude regressions,
 #      not scheduler noise)
-#   4. a timestamped BENCH_PR7.json (+ .prom + manifest) lands at the
+#   4. the second warm run records per-cell timelines and a span
+#      profile; the timeline dumps are schema-gated and rendered to
+#      HTML, proving the instrumentation does not perturb reports
+#   5. a timestamped BENCH_PR8.json (+ .prom + manifest) lands at the
 #      repo root as the artifact of record for this revision.
 #
 # Usage: tools/run_benchmarks.sh [jobs]
@@ -43,7 +46,9 @@ echo "== bench_all (warm cache, twice) =="
     --json "$scratch/warm.json" > /dev/null
 "$build/bench/bench_all" --jobs "$jobs" \
     --cache-dir "$scratch/cache" \
-    --json "$scratch/warm2.json" > /dev/null
+    --json "$scratch/warm2.json" \
+    --timeline-dir "$scratch/timeline" \
+    --trace-profile "$scratch/trace-profile.json" > /dev/null
 
 for run in cold warm warm2; do
     python3 - "$scratch/$run.json" "$run" <<'EOF'
@@ -70,6 +75,17 @@ python3 "$root/tools/metrics_diff.py" \
     "$scratch/warm.json" "$scratch/warm2.json"
 
 echo
+echo "== timeline schema + HTML render (instrumented warm run) =="
+python3 "$root/tools/compare_bench.py" \
+    "$root/bench/reference/BENCH_RESULTS.ref.json" \
+    "$scratch/warm2.json" \
+    --timeline-dir "$scratch/timeline" \
+    --max-report-seconds ablation_cache=20 \
+    --max-any-report-seconds 60
+python3 "$root/tools/pcap_timeline.py" "$scratch/timeline" \
+    -o "$scratch/timeline/timeline.html"
+
+echo
 echo "== fleet smoke (128 hosts, two thread counts) =="
 "$build/bench/bench_all" --report fleet --hosts 128 --jobs 1 \
     --cache-dir "$scratch/cache" \
@@ -82,8 +98,8 @@ python3 "$root/tools/compare_bench.py" \
     --max-any-report-seconds 300
 
 echo
-echo "== publish BENCH_PR7.json =="
-cp "$scratch/warm.json" "$root/BENCH_PR7.json"
-cp "$scratch/warm.prom" "$root/BENCH_PR7.prom"
-cp "$scratch/warm.manifest.json" "$root/BENCH_PR7.manifest.json"
-echo "wrote $root/BENCH_PR7.json (+ .prom, .manifest.json)"
+echo "== publish BENCH_PR8.json =="
+cp "$scratch/warm.json" "$root/BENCH_PR8.json"
+cp "$scratch/warm.prom" "$root/BENCH_PR8.prom"
+cp "$scratch/warm.manifest.json" "$root/BENCH_PR8.manifest.json"
+echo "wrote $root/BENCH_PR8.json (+ .prom, .manifest.json)"
