@@ -20,10 +20,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/alerts.hpp"
 #include "obs/export.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -71,6 +73,16 @@ usage(std::ostream &os)
           "      --hosts N     fleet size for the opt-in fleet "
           "report\n"
           "                    (default: 128; see --report fleet)\n"
+          "      --alerts PATH evaluate the pcap-alert-rules-v1 "
+          "rules in\n"
+          "                    PATH against the finished run; exit "
+          "3 when a\n"
+          "                    warn rule fires, 4 on critical\n"
+          "      --drilldown-dir P  re-simulate MAD-flagged fleet "
+          "outlier\n"
+          "                    hosts with full instrumentation into "
+          "directory\n"
+          "                    P (requires --report fleet)\n"
           "      --trace-dir P write one per-idle-period JSONL "
           "trace per\n"
           "                    simulation cell into directory P\n"
@@ -177,6 +189,8 @@ main(int argc, char **argv)
     std::vector<std::string> only;
     std::uint64_t fleet_hosts = 128;
     bool fleet_hosts_given = false;
+    std::string alerts_path;
+    std::string drilldown_dir;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -289,6 +303,10 @@ main(int argc, char **argv)
             }
             fleet_hosts = parsed;
             fleet_hosts_given = true;
+        } else if (arg == "--alerts") {
+            alerts_path = value("--alerts");
+        } else if (arg == "--drilldown-dir") {
+            drilldown_dir = value("--drilldown-dir");
         } else {
             error("unknown option: " + arg);
             usage(std::cerr);
@@ -306,6 +324,23 @@ main(int argc, char **argv)
         metrics_path = "-";
 
     obs::MetricsRegistry registry;
+
+    // Alert rules load before any simulation runs: a malformed
+    // rules file is a usage error, not a wasted benchmark.
+    std::unique_ptr<obs::AlertEngine> alert_engine;
+    if (!alerts_path.empty()) {
+        obs::AlertRulesLoad load =
+            obs::loadAlertRulesFile(alerts_path);
+        if (!load.ok()) {
+            error("--alerts: " + load.error);
+            return 2;
+        }
+        alert_engine = std::make_unique<obs::AlertEngine>(
+            std::move(load.rules));
+        inform("alerts: " + std::to_string(
+                                alert_engine->rules().size()) +
+               " rules loaded from " + alerts_path);
+    }
 
     // The span recorder (when requested) outlives every traced
     // scope, including pool-thread task hooks that may still fire
@@ -349,6 +384,8 @@ main(int argc, char **argv)
     ctx.fleet.hosts = fleet_hosts;
     ctx.fleet.jobs = options.jobs;
     ctx.fleet.metrics = options.metrics;
+    ctx.fleet.alerts = alert_engine.get();
+    ctx.fleet.drilldownDir = drilldown_dir;
     ctx.fleetJson = &fleet_json;
     ctx.traceStore = options.traceStore.get();
 
@@ -371,6 +408,9 @@ main(int argc, char **argv)
         fleet_selected = fleet_selected || report->name == "fleet";
     if (fleet_hosts_given && !fleet_selected)
         warn("--hosts only affects the fleet report "
+             "(--report fleet)");
+    if (!drilldown_dir.empty() && !fleet_selected)
+        warn("--drilldown-dir only affects the fleet report "
              "(--report fleet)");
 
     const Clock::time_point total_start = Clock::now();
@@ -474,6 +514,16 @@ main(int argc, char **argv)
         }
     }
 
+    // Alerts settle after every metric above has landed in the
+    // registry — the snapshot finalize() takes is the same surface
+    // the .prom export writes.
+    if (alert_engine) {
+        alert_engine->finalize(registry);
+        if (use_metrics)
+            alert_engine->recordMetrics(registry);
+        alert_engine->printSummary(std::cout);
+    }
+
     if (trace_recorder) {
         trace_recorder->writeChromeTrace(trace_profile_path);
         std::cout << "trace profile: " << trace_profile_path << " ("
@@ -506,6 +556,8 @@ main(int argc, char **argv)
         root["reports"] = std::move(report_json);
         if (fleet_selected)
             root["fleet"] = std::move(fleet_json);
+        if (alert_engine)
+            root["alerts"] = alert_engine->toJson();
         if (use_metrics)
             root["metrics"] = obs::metricsToJson(registry);
 
@@ -571,5 +623,7 @@ main(int argc, char **argv)
         }
         std::cout << "manifest: " << manifest_path << "\n";
     }
-    return 0;
+    // Fired alerts drive the exit code (0 clean, 3 warn, 4
+    // critical) so CI can gate on run health directly.
+    return alert_engine ? alert_engine->exitCode() : 0;
 }

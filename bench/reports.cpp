@@ -3,6 +3,7 @@
 #include <iostream>
 #include <ostream>
 
+#include <fstream>
 #include <iomanip>
 #include <optional>
 #include <sstream>
@@ -1148,6 +1149,84 @@ reportSignatureAttribution(ReportContext &ctx, std::ostream &os)
 
 // -- Fleet: streaming host cells (opt-in) ----------------------
 
+/**
+ * The machine-readable drill-down block (schema pcap-drilldown-v1):
+ * per flagged host its pass-1 reasons and per-policy re-run summary,
+ * with artifact *stems* only — paths stay relative to wherever the
+ * caller put the directory, so the block is location-independent.
+ */
+Json
+drilldownJson(const sim::FleetReport &report, std::uint64_t seed)
+{
+    Json root = Json::object();
+    root["schema"] = "pcap-drilldown-v1";
+    root["fleet_seed"] = seed;
+    Json &hostsJson = root["hosts"];
+    hostsJson = Json::array();
+    for (const auto &drill : report.drilldowns) {
+        Json entry = Json::object();
+        entry["host"] = drill.host;
+        entry["seed"] = drill.seed;
+        entry["think_time_scale"] = drill.thinkTimeScale;
+        entry["executions"] = drill.executions;
+        entry["accesses"] = drill.accesses;
+        entry["sim_span_us"] = drill.simSpanUs;
+        entry["base_energy_j"] = drill.baseEnergyJ;
+        Json &reasonsJson = entry["reasons"];
+        reasonsJson = Json::array();
+        for (const auto &reason : drill.reasons) {
+            Json item = Json::object();
+            item["policy"] = reason.policy;
+            item["metric"] = reason.metric;
+            item["value"] = reason.value;
+            item["median"] = reason.median;
+            item["score"] = reason.score;
+            reasonsJson.push(std::move(item));
+        }
+        Json &policiesJson = entry["policies"];
+        policiesJson = Json::array();
+        for (const auto &policy : drill.policies) {
+            Json item = Json::object();
+            item["policy"] = policy.policy;
+            item["stem"] = policy.stem;
+            item["energy_j"] = policy.energyJ;
+            item["saved_fraction"] = policy.savedFraction;
+            item["hit_fraction"] = policy.hitFraction;
+            item["miss_fraction"] = policy.missFraction;
+            item["shutdowns"] = policy.shutdowns;
+            item["spin_ups"] = policy.spinUps;
+            item["table_entries"] = policy.tableEntries;
+            Json &artifacts = item["artifacts"];
+            artifacts = Json::object();
+            artifacts["trace"] = policy.stem + ".jsonl";
+            artifacts["provenance_binary"] =
+                policy.stem + ".prov.bin";
+            artifacts["provenance_jsonl"] =
+                policy.stem + ".prov.jsonl";
+            artifacts["timeline_json"] =
+                policy.stem + ".timeline.json";
+            artifacts["timeline_csv"] =
+                policy.stem + ".timeline.csv";
+            policiesJson.push(std::move(item));
+        }
+        hostsJson.push(std::move(entry));
+    }
+    return root;
+}
+
+/** drilldown.json — the bundle index pcap_fleet_report.py reads. */
+void
+writeDrilldownIndex(const sim::FleetReport &report,
+                    std::uint64_t seed, const std::string &dir)
+{
+    const std::string path = dir + "/drilldown.json";
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        panic("cannot write " + path);
+    drilldownJson(report, seed).dump(os);
+    os << "\n";
+}
+
 void
 reportFleet(ReportContext &ctx, std::ostream &os)
 {
@@ -1173,6 +1252,8 @@ reportFleet(ReportContext &ctx, std::ostream &os)
     sim::FleetOptions options;
     options.jobs = ctx.fleet.jobs;
     options.metrics = ctx.fleet.metrics;
+    options.alerts = ctx.fleet.alerts;
+    options.drilldownDir = ctx.fleet.drilldownDir;
     sim::FleetDriver driver(fleet, config.sim, config.cache,
                             options);
     const sim::FleetReport report = driver.run(policies);
@@ -1222,6 +1303,31 @@ reportFleet(ReportContext &ctx, std::ostream &os)
                      percentString(outlier.median),
                      fixedString(outlier.score, 1)});
         outlierTable.print(os);
+    }
+
+    // Drill-down summary keeps to artifact stems — never the output
+    // directory — so two smoke runs into different directories stay
+    // byte-identical.
+    if (!ctx.fleet.drilldownDir.empty()) {
+        os << "\ndrilled hosts (instrumented re-simulation): "
+           << report.drilldowns.size() << "\n";
+        if (!report.drilldowns.empty()) {
+            TextTable drillTable;
+            drillTable.setHeader({"host", "policy", "saved", "miss",
+                                  "spin-ups", "table", "stem"});
+            for (const auto &drill : report.drilldowns)
+                for (const auto &policy : drill.policies)
+                    drillTable.addRow(
+                        {std::to_string(drill.host), policy.policy,
+                         percentString(policy.savedFraction),
+                         percentString(policy.missFraction),
+                         std::to_string(policy.spinUps),
+                         std::to_string(policy.tableEntries),
+                         policy.stem});
+            drillTable.print(os);
+        }
+        writeDrilldownIndex(report, ctx.fleet.seed,
+                            ctx.fleet.drilldownDir);
     }
 
     if (!ctx.fleetJson)
@@ -1276,6 +1382,10 @@ reportFleet(ReportContext &ctx, std::ostream &os)
         }
         policiesJson.push(std::move(entry));
     }
+    // Only with an active drill-down pass, so the default fleet
+    // block stays byte-identical when the flag is absent.
+    if (!ctx.fleet.drilldownDir.empty())
+        root["drilldown"] = drilldownJson(report, ctx.fleet.seed);
 }
 
 } // namespace

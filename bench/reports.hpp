@@ -28,6 +28,10 @@ namespace pcap {
 class Json;
 }
 
+namespace pcap::obs {
+class AlertEngine;
+}
+
 namespace pcap::bench {
 
 /** The fixed seed all benches share (numbers must be reproducible). */
@@ -60,6 +64,13 @@ struct FleetSettings
     std::uint64_t seed = kBenchSeed;
     unsigned jobs = 1; ///< host-cell sharding width
     obs::MetricsRegistry *metrics = nullptr;
+
+    /** Alert engine fed the fleet distributions (--alerts). */
+    obs::AlertEngine *alerts = nullptr;
+
+    /** Outlier drill-down output directory (--drilldown-dir);
+     * empty disables the instrumented re-simulation pass. */
+    std::string drilldownDir;
 };
 
 /** Everything a report needs to render. */

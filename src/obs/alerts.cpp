@@ -1,0 +1,733 @@
+#include "obs/alerts.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace pcap::obs {
+
+namespace {
+
+/** Counters holding replayed simulated span in microseconds — the
+ * threshold/ratio evidence base (see the file docs in alerts.hpp). */
+constexpr const char *kSpanCounters[] = {
+    "pcap_sim_input_span_us_total",
+    "pcap_fleet_sim_span_us_total",
+};
+
+bool
+labelMatches(const Labels &series, const std::string &key,
+             const std::string &pattern)
+{
+    for (const auto &[k, v] : series) {
+        if (k != key)
+            continue;
+        // '|'-separated alternatives in the selector value.
+        std::size_t start = 0;
+        while (start <= pattern.size()) {
+            const std::size_t bar = pattern.find('|', start);
+            const std::size_t end =
+                bar == std::string::npos ? pattern.size() : bar;
+            if (v == pattern.substr(start, end - start))
+                return true;
+            if (bar == std::string::npos)
+                break;
+            start = bar + 1;
+        }
+        return false;
+    }
+    return false;
+}
+
+bool
+selectorMatches(const MetricsRegistry::Series &series,
+                const MetricSelector &selector)
+{
+    if (series.name != selector.metric)
+        return false;
+    for (const auto &[key, pattern] : selector.labels)
+        if (!labelMatches(series.labels, key, pattern))
+            return false;
+    return true;
+}
+
+double
+seriesScalar(const MetricsRegistry::Series &series)
+{
+    switch (series.kind) {
+      case MetricKind::Counter:
+        return static_cast<double>(series.counter->value());
+      case MetricKind::Gauge: return series.gauge->value();
+      case MetricKind::Histogram: return series.histogram->sum();
+      case MetricKind::Timer: return series.timer->seconds();
+    }
+    return 0.0;
+}
+
+/** Aggregate every matching series; false when none matched. */
+bool
+aggregate(const std::vector<MetricsRegistry::Series> &snapshot,
+          const MetricSelector &selector, double &out)
+{
+    std::size_t matched = 0;
+    double sum = 0.0, low = 0.0, high = 0.0;
+    for (const MetricsRegistry::Series &series : snapshot) {
+        if (!selectorMatches(series, selector))
+            continue;
+        const double v = seriesScalar(series);
+        if (matched == 0) {
+            low = high = v;
+        } else {
+            low = std::min(low, v);
+            high = std::max(high, v);
+        }
+        sum += v;
+        ++matched;
+    }
+    if (matched == 0)
+        return false;
+    switch (selector.agg) {
+      case MetricAgg::Sum: out = sum; break;
+      case MetricAgg::Min: out = low; break;
+      case MetricAgg::Max: out = high; break;
+      case MetricAgg::Avg:
+        out = sum / static_cast<double>(matched);
+        break;
+    }
+    return true;
+}
+
+std::string
+describeSelector(const MetricSelector &selector)
+{
+    std::string text = selector.metric;
+    if (!selector.labels.empty()) {
+        text += "{";
+        for (std::size_t i = 0; i < selector.labels.size(); ++i) {
+            if (i)
+                text += ",";
+            text += selector.labels[i].first + "=\"" +
+                    selector.labels[i].second + "\"";
+        }
+        text += "}";
+    }
+    return text;
+}
+
+// -- rules-file parsing ----------------------------------------
+
+/** Collects the first problem; parsing stops reporting after it. */
+struct RuleErrors
+{
+    std::string error;
+
+    void add(const std::string &context, const std::string &problem)
+    {
+        if (error.empty())
+            error = context + ": " + problem;
+    }
+
+    bool ok() const { return error.empty(); }
+};
+
+bool
+parseSeverity(const std::string &name, AlertSeverity &out)
+{
+    if (name == "warn" || name == "warning") {
+        out = AlertSeverity::Warn;
+        return true;
+    }
+    if (name == "critical") {
+        out = AlertSeverity::Critical;
+        return true;
+    }
+    return false;
+}
+
+bool
+parseComparator(const std::string &name, AlertComparator &out)
+{
+    if (name == ">") {
+        out = AlertComparator::Gt;
+        return true;
+    }
+    if (name == ">=") {
+        out = AlertComparator::Ge;
+        return true;
+    }
+    if (name == "<") {
+        out = AlertComparator::Lt;
+        return true;
+    }
+    if (name == "<=") {
+        out = AlertComparator::Le;
+        return true;
+    }
+    return false;
+}
+
+bool
+parseAgg(const std::string &name, MetricAgg &out)
+{
+    if (name == "sum") {
+        out = MetricAgg::Sum;
+        return true;
+    }
+    if (name == "min") {
+        out = MetricAgg::Min;
+        return true;
+    }
+    if (name == "max") {
+        out = MetricAgg::Max;
+        return true;
+    }
+    if (name == "avg") {
+        out = MetricAgg::Avg;
+        return true;
+    }
+    return false;
+}
+
+void
+parseSelector(const Json &json, const std::string &context,
+              MetricSelector &out, RuleErrors &errors)
+{
+    if (!json.isObject()) {
+        errors.add(context, "selector must be an object");
+        return;
+    }
+    const Json *name = json.find("name");
+    if (!name || !name->isString() || name->asString().empty()) {
+        errors.add(context, "selector needs a \"name\" string");
+        return;
+    }
+    out.metric = name->asString();
+    if (const Json *labels = json.find("labels")) {
+        if (!labels->isObject()) {
+            errors.add(context, "\"labels\" must be an object");
+            return;
+        }
+        for (const std::string &key : labels->keys()) {
+            const Json *value = labels->find(key);
+            if (!value->isString()) {
+                errors.add(context, "label \"" + key +
+                                        "\" must be a string");
+                return;
+            }
+            out.labels.emplace_back(key, value->asString());
+        }
+    }
+    if (const Json *agg = json.find("agg")) {
+        if (!agg->isString() ||
+            !parseAgg(agg->asString(), out.agg)) {
+            errors.add(context,
+                       "\"agg\" must be sum|min|max|avg");
+            return;
+        }
+    }
+}
+
+void
+parseRule(const Json &json, std::size_t index, AlertRule &out,
+          RuleErrors &errors)
+{
+    const std::string slot = "rule " + std::to_string(index);
+    if (!json.isObject()) {
+        errors.add(slot, "must be an object");
+        return;
+    }
+    const Json *name = json.find("name");
+    if (!name || !name->isString() || name->asString().empty()) {
+        errors.add(slot, "needs a \"name\" string");
+        return;
+    }
+    out.name = name->asString();
+    const std::string context = "rule \"" + out.name + "\"";
+
+    if (const Json *severity = json.find("severity")) {
+        if (!severity->isString() ||
+            !parseSeverity(severity->asString(), out.severity)) {
+            errors.add(context,
+                       "\"severity\" must be warn|critical");
+            return;
+        }
+    }
+    const Json *op = json.find("op");
+    if (!op || !op->isString() ||
+        !parseComparator(op->asString(), out.op)) {
+        errors.add(context, "needs an \"op\" of >|>=|<|<=");
+        return;
+    }
+    const Json *value = json.find("value");
+    if (!value || !value->isNumber()) {
+        errors.add(context, "needs a numeric \"value\"");
+        return;
+    }
+    out.value = value->asDouble();
+    if (const Json *forSim = json.find("for_sim_seconds")) {
+        if (!forSim->isNumber() || forSim->asDouble() < 0.0) {
+            errors.add(context, "\"for_sim_seconds\" must be a "
+                                "non-negative number");
+            return;
+        }
+        out.forSimSeconds = forSim->asDouble();
+    }
+
+    // The condition kind is inferred from which key is present.
+    const Json *metric = json.find("metric");
+    const Json *ratio = json.find("ratio");
+    const Json *quantile = json.find("quantile");
+    const int kinds = (metric ? 1 : 0) + (ratio ? 1 : 0) +
+                      (quantile ? 1 : 0);
+    if (kinds != 1) {
+        errors.add(context, "needs exactly one of \"metric\", "
+                            "\"ratio\" or \"quantile\"");
+        return;
+    }
+    if (metric) {
+        out.kind = AlertKind::Threshold;
+        parseSelector(*metric, context, out.metric, errors);
+        return;
+    }
+    if (ratio) {
+        out.kind = AlertKind::Ratio;
+        if (!ratio->isObject()) {
+            errors.add(context, "\"ratio\" must be an object");
+            return;
+        }
+        const Json *numerator = ratio->find("numerator");
+        const Json *denominator = ratio->find("denominator");
+        if (!numerator || !denominator) {
+            errors.add(context, "\"ratio\" needs \"numerator\" "
+                                "and \"denominator\"");
+            return;
+        }
+        parseSelector(*numerator, context + " numerator",
+                      out.numerator, errors);
+        parseSelector(*denominator, context + " denominator",
+                      out.denominator, errors);
+        return;
+    }
+    out.kind = AlertKind::Quantile;
+    if (!quantile->isObject()) {
+        errors.add(context, "\"quantile\" must be an object");
+        return;
+    }
+    const Json *distribution = quantile->find("distribution");
+    if (!distribution || !distribution->isString() ||
+        distribution->asString().empty()) {
+        errors.add(context, "\"quantile\" needs a "
+                            "\"distribution\" string");
+        return;
+    }
+    out.distribution = distribution->asString();
+    if (const Json *q = quantile->find("q")) {
+        if (!q->isNumber() || q->asDouble() <= 0.0 ||
+            q->asDouble() > 1.0) {
+            errors.add(context, "\"q\" must be in (0, 1]");
+            return;
+        }
+        out.q = q->asDouble();
+    }
+    if (const Json *policy = quantile->find("policy")) {
+        if (!policy->isString()) {
+            errors.add(context, "\"policy\" must be a string");
+            return;
+        }
+        out.policy = policy->asString();
+    }
+}
+
+} // namespace
+
+const char *
+alertSeverityName(AlertSeverity severity)
+{
+    switch (severity) {
+      case AlertSeverity::Warn: return "warn";
+      case AlertSeverity::Critical: return "critical";
+    }
+    return "?";
+}
+
+const char *
+alertComparatorName(AlertComparator op)
+{
+    switch (op) {
+      case AlertComparator::Gt: return ">";
+      case AlertComparator::Ge: return ">=";
+      case AlertComparator::Lt: return "<";
+      case AlertComparator::Le: return "<=";
+    }
+    return "?";
+}
+
+bool
+alertCompare(AlertComparator op, double value, double threshold)
+{
+    switch (op) {
+      case AlertComparator::Gt: return value > threshold;
+      case AlertComparator::Ge: return value >= threshold;
+      case AlertComparator::Lt: return value < threshold;
+      case AlertComparator::Le: return value <= threshold;
+    }
+    return false;
+}
+
+const char *
+alertKindName(AlertKind kind)
+{
+    switch (kind) {
+      case AlertKind::Threshold: return "threshold";
+      case AlertKind::Ratio: return "ratio";
+      case AlertKind::Quantile: return "quantile";
+    }
+    return "?";
+}
+
+const char *
+metricAggName(MetricAgg agg)
+{
+    switch (agg) {
+      case MetricAgg::Sum: return "sum";
+      case MetricAgg::Min: return "min";
+      case MetricAgg::Max: return "max";
+      case MetricAgg::Avg: return "avg";
+    }
+    return "?";
+}
+
+const char *
+alertStatusName(AlertStatus status)
+{
+    switch (status) {
+      case AlertStatus::Ok: return "ok";
+      case AlertStatus::Skipped: return "skipped";
+      case AlertStatus::Pending: return "pending";
+      case AlertStatus::Fired: return "fired";
+    }
+    return "?";
+}
+
+AlertRulesLoad
+parseAlertRules(const std::string &jsonText)
+{
+    AlertRulesLoad load;
+    Json doc;
+    std::string parseError;
+    if (!Json::parse(jsonText, doc, &parseError)) {
+        load.error = "rules file: " + parseError;
+        return load;
+    }
+    if (!doc.isObject()) {
+        load.error = "rules file: top level must be an object";
+        return load;
+    }
+    const Json *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != "pcap-alert-rules-v1") {
+        load.error = "rules file: \"schema\" must be "
+                     "\"pcap-alert-rules-v1\"";
+        return load;
+    }
+    const Json *rules = doc.find("rules");
+    if (!rules || !rules->isArray()) {
+        load.error = "rules file: needs a \"rules\" array";
+        return load;
+    }
+    RuleErrors errors;
+    for (std::size_t i = 0; i < rules->size(); ++i) {
+        AlertRule rule;
+        parseRule(rules->at(i), i, rule, errors);
+        if (!errors.ok())
+            break;
+        for (const AlertRule &existing : load.rules)
+            if (existing.name == rule.name)
+                errors.add("rule \"" + rule.name + "\"",
+                           "duplicate rule name");
+        if (!errors.ok())
+            break;
+        load.rules.push_back(std::move(rule));
+    }
+    load.error = errors.error;
+    if (load.ok() && load.rules.empty())
+        load.error = "rules file: \"rules\" is empty";
+    return load;
+}
+
+AlertRulesLoad
+loadAlertRulesFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        AlertRulesLoad load;
+        load.error = "cannot read " + path;
+        return load;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    AlertRulesLoad load = parseAlertRules(text.str());
+    if (!load.ok())
+        load.error = path + ": " + load.error;
+    return load;
+}
+
+AlertEngine::AlertEngine(std::vector<AlertRule> rules)
+    : rules_(std::move(rules)), outcomes_(rules_.size()),
+      sawDistribution_(rules_.size(), false)
+{
+}
+
+void
+AlertEngine::addQuantileEvidence(const std::string &distribution,
+                                 const std::string &policy,
+                                 const LogSketch &sketch,
+                                 double simSeconds)
+{
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        const AlertRule &rule = rules_[i];
+        if (rule.kind != AlertKind::Quantile ||
+            rule.distribution != distribution ||
+            (!rule.policy.empty() && rule.policy != policy) ||
+            sketch.empty())
+            continue;
+        if (alertCompare(rule.op, sketch.quantile(rule.q),
+                         rule.value))
+            outcomes_[i].evidenceSimSeconds += simSeconds;
+    }
+}
+
+void
+AlertEngine::setQuantileValue(const std::string &distribution,
+                              const std::string &policy,
+                              const LogSketch &sketch)
+{
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        const AlertRule &rule = rules_[i];
+        if (rule.kind != AlertKind::Quantile ||
+            rule.distribution != distribution ||
+            (!rule.policy.empty() && rule.policy != policy) ||
+            sketch.empty())
+            continue;
+        AlertOutcome &outcome = outcomes_[i];
+        const double q = sketch.quantile(rule.q);
+        // With several matching distributions (empty policy filter),
+        // the most-breaching value is the one judged: the max for
+        // ">"-style rules, the min for "<"-style ones.
+        const bool moreBreaching =
+            rule.op == AlertComparator::Gt ||
+                    rule.op == AlertComparator::Ge
+                ? q > outcome.value
+                : q < outcome.value;
+        if (!outcome.hasValue || moreBreaching) {
+            outcome.value = q;
+            outcome.hasValue = true;
+        }
+        sawDistribution_[i] = true;
+    }
+}
+
+void
+AlertEngine::finalize(const MetricsRegistry &registry)
+{
+    if (finalized_)
+        panic("AlertEngine: finalize() called twice");
+    finalized_ = true;
+
+    const std::vector<MetricsRegistry::Series> snapshot =
+        registry.snapshot();
+
+    // The run's replayed simulated span: the threshold/ratio
+    // evidence base. Counters sum in snapshot order (sorted by
+    // name+labels) — deterministic for every thread count.
+    double runSpanSeconds = 0.0;
+    for (const MetricsRegistry::Series &series : snapshot)
+        for (const char *name : kSpanCounters)
+            if (series.name == name &&
+                series.kind == MetricKind::Counter)
+                runSpanSeconds +=
+                    static_cast<double>(series.counter->value()) /
+                    1e6;
+
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        const AlertRule &rule = rules_[i];
+        AlertOutcome &outcome = outcomes_[i];
+        if (rule.kind == AlertKind::Threshold ||
+            rule.kind == AlertKind::Ratio) {
+            outcome.evidenceSimSeconds = runSpanSeconds;
+            if (rule.kind == AlertKind::Threshold) {
+                double v = 0.0;
+                if (!aggregate(snapshot, rule.metric, v)) {
+                    outcome.status = AlertStatus::Skipped;
+                    outcome.detail =
+                        "no series matched " +
+                        describeSelector(rule.metric);
+                    continue;
+                }
+                outcome.value = v;
+            } else {
+                double num = 0.0, den = 0.0;
+                if (!aggregate(snapshot, rule.numerator, num)) {
+                    outcome.status = AlertStatus::Skipped;
+                    outcome.detail =
+                        "no series matched numerator " +
+                        describeSelector(rule.numerator);
+                    continue;
+                }
+                if (!aggregate(snapshot, rule.denominator, den)) {
+                    outcome.status = AlertStatus::Skipped;
+                    outcome.detail =
+                        "no series matched denominator " +
+                        describeSelector(rule.denominator);
+                    continue;
+                }
+                if (den == 0.0) {
+                    outcome.status = AlertStatus::Skipped;
+                    outcome.detail =
+                        "denominator " +
+                        describeSelector(rule.denominator) +
+                        " is zero";
+                    continue;
+                }
+                outcome.value = num / den;
+            }
+            outcome.hasValue = true;
+        } else if (!sawDistribution_[i]) {
+            outcome.status = AlertStatus::Skipped;
+            outcome.detail = "no fleet distribution \"" +
+                             rule.distribution + "\" observed";
+            continue;
+        }
+
+        if (!alertCompare(rule.op, outcome.value, rule.value)) {
+            outcome.status = AlertStatus::Ok;
+            continue;
+        }
+        if (rule.forSimSeconds > 0.0 &&
+            outcome.evidenceSimSeconds < rule.forSimSeconds) {
+            outcome.status = AlertStatus::Pending;
+            std::ostringstream detail;
+            detail << "breached, but backed by only "
+                   << outcome.evidenceSimSeconds
+                   << " of the required " << rule.forSimSeconds
+                   << " simulated seconds";
+            outcome.detail = detail.str();
+            continue;
+        }
+        outcome.status = AlertStatus::Fired;
+    }
+}
+
+std::size_t
+AlertEngine::firedCount(AlertSeverity severity) const
+{
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < rules_.size(); ++i)
+        if (outcomes_[i].status == AlertStatus::Fired &&
+            rules_[i].severity == severity)
+            ++fired;
+    return fired;
+}
+
+int
+AlertEngine::exitCode() const
+{
+    if (firedCount(AlertSeverity::Critical))
+        return 4;
+    if (firedCount(AlertSeverity::Warn))
+        return 3;
+    return 0;
+}
+
+Json
+AlertEngine::toJson() const
+{
+    Json root = Json::object();
+    root["schema"] = "pcap-alerts-v1";
+    Json &rules = root["rules"];
+    rules = Json::array();
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        const AlertRule &rule = rules_[i];
+        const AlertOutcome &outcome = outcomes_[i];
+        Json entry = Json::object();
+        entry["name"] = rule.name;
+        entry["severity"] = alertSeverityName(rule.severity);
+        entry["kind"] = alertKindName(rule.kind);
+        entry["op"] = alertComparatorName(rule.op);
+        entry["threshold"] = rule.value;
+        if (rule.forSimSeconds > 0.0)
+            entry["for_sim_seconds"] = rule.forSimSeconds;
+        if (rule.kind == AlertKind::Quantile) {
+            entry["distribution"] = rule.distribution;
+            entry["q"] = rule.q;
+            if (!rule.policy.empty())
+                entry["policy"] = rule.policy;
+        }
+        entry["status"] = alertStatusName(outcome.status);
+        if (outcome.hasValue)
+            entry["value"] = outcome.value;
+        entry["evidence_sim_seconds"] = outcome.evidenceSimSeconds;
+        if (!outcome.detail.empty())
+            entry["detail"] = outcome.detail;
+        rules.push(std::move(entry));
+    }
+    Json &fired = root["fired"];
+    fired = Json::array();
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        if (outcomes_[i].status != AlertStatus::Fired)
+            continue;
+        Json entry = Json::object();
+        entry["rule"] = rules_[i].name;
+        entry["severity"] = alertSeverityName(rules_[i].severity);
+        fired.push(std::move(entry));
+    }
+    root["warn_fired"] = firedCount(AlertSeverity::Warn);
+    root["critical_fired"] = firedCount(AlertSeverity::Critical);
+    root["exit_code"] = exitCode();
+    return root;
+}
+
+void
+AlertEngine::recordMetrics(MetricsRegistry &registry) const
+{
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        if (outcomes_[i].status != AlertStatus::Fired)
+            continue;
+        registry
+            .counter("pcap_alerts_fired_total",
+                     {{"rule", rules_[i].name},
+                      {"severity",
+                       alertSeverityName(rules_[i].severity)}})
+            .inc();
+    }
+}
+
+void
+AlertEngine::printSummary(std::ostream &os) const
+{
+    os << "\n== alerts ==\n";
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        const AlertRule &rule = rules_[i];
+        const AlertOutcome &outcome = outcomes_[i];
+        os << rule.name << " [" << alertSeverityName(rule.severity)
+           << "]: " << alertStatusName(outcome.status);
+        if (outcome.hasValue) {
+            std::ostringstream value;
+            value << outcome.value;
+            os << " (value " << value.str() << " "
+               << alertComparatorName(rule.op) << " " << rule.value
+               << ")";
+        }
+        if (!outcome.detail.empty())
+            os << " — " << outcome.detail;
+        os << "\n";
+    }
+    os << "fired: " << firedCount(AlertSeverity::Warn) << " warn, "
+       << firedCount(AlertSeverity::Critical) << " critical\n";
+}
+
+} // namespace pcap::obs

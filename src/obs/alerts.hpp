@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Declarative alert/SLO rule engine over a finished run.
+ *
+ * Rules load from a JSON file (schema pcap-alert-rules-v1) and turn
+ * the deterministic metric surface into pass/fail health signals —
+ * the batch analogue of a Prometheus alerting pipeline. Three rule
+ * kinds:
+ *
+ *  - threshold: one aggregated MetricsRegistry selection compared
+ *    against a constant ("fleet flags more than 8 outlier hosts");
+ *  - ratio: two selections divided ("PCAP burns more than 3x the
+ *    oracle's energy");
+ *  - quantile: a fleet LogSketch distribution's quantile compared
+ *    against a constant ("the fleet p99 miss fraction exceeds 50%").
+ *
+ * The `for` duration of an online alert translates to *simulated*
+ * time here: a rule with for_sim_seconds > 0 fires only when the
+ * breach is backed by at least that much replayed simulated span.
+ * Threshold/ratio rules count the whole run's replayed span as
+ * evidence (pcap_sim_input_span_us_total + pcap_fleet_sim_span_us_
+ * total); quantile rules accumulate the spans of the fleet shards
+ * whose own distribution breached, folded in shard order. A breach
+ * without enough evidence reports "pending" and does not fire.
+ *
+ * Everything the engine consumes is a deterministic function of the
+ * simulation, and evaluation happens single-threaded in a fixed
+ * order, so the verdicts — and the emitted pcap-alerts-v1 block —
+ * are bit-identical across thread counts.
+ */
+
+#ifndef PCAP_OBS_ALERTS_HPP
+#define PCAP_OBS_ALERTS_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sketch.hpp"
+
+namespace pcap {
+class Json;
+}
+
+namespace pcap::obs {
+
+/** How bad a fired rule is; drives the bench exit code. */
+enum class AlertSeverity : std::uint8_t { Warn, Critical };
+const char *alertSeverityName(AlertSeverity severity);
+
+/** Comparison of the observed value against the rule threshold. */
+enum class AlertComparator : std::uint8_t { Gt, Ge, Lt, Le };
+const char *alertComparatorName(AlertComparator op);
+bool alertCompare(AlertComparator op, double value, double threshold);
+
+/** Which condition shape a rule evaluates. */
+enum class AlertKind : std::uint8_t { Threshold, Ratio, Quantile };
+const char *alertKindName(AlertKind kind);
+
+/** How multiple matched series collapse into one value. */
+enum class MetricAgg : std::uint8_t { Sum, Min, Max, Avg };
+const char *metricAggName(MetricAgg agg);
+
+/**
+ * Selects registry series by metric name plus a label subset: every
+ * selector label key must exist on the series with a matching value;
+ * series labels not mentioned are free. A selector value may list
+ * '|'-separated alternatives ("miss_primary|miss_backup"). Matched
+ * series contribute their scalar — counter value, gauge value,
+ * histogram sample sum, timer seconds — folded by @ref agg.
+ */
+struct MetricSelector
+{
+    std::string metric;
+    Labels labels;
+    MetricAgg agg = MetricAgg::Sum;
+};
+
+/** One declarative alert rule (see the file docs for semantics). */
+struct AlertRule
+{
+    std::string name;
+    AlertSeverity severity = AlertSeverity::Warn;
+    AlertKind kind = AlertKind::Threshold;
+    AlertComparator op = AlertComparator::Gt;
+    double value = 0.0;         ///< the threshold constant
+    double forSimSeconds = 0.0; ///< simulated-time evidence floor
+
+    MetricSelector metric;      ///< threshold rules
+    MetricSelector numerator;   ///< ratio rules
+    MetricSelector denominator; ///< ratio rules
+
+    /** Quantile rules: which fleet distribution ("saved_fraction",
+     * "miss_fraction", "hit_fraction", "energy_j", "base_energy_j"),
+     * which quantile, and an optional policy-label filter (empty
+     * matches every policy; the most-breaching value wins). */
+    std::string distribution;
+    double q = 0.99;
+    std::string policy;
+};
+
+/** Verdict of one rule after finalize(). */
+enum class AlertStatus : std::uint8_t { Ok, Skipped, Pending, Fired };
+const char *alertStatusName(AlertStatus status);
+
+/** Per-rule evaluation outcome, parallel to AlertEngine::rules(). */
+struct AlertOutcome
+{
+    AlertStatus status = AlertStatus::Skipped;
+    bool hasValue = false;
+    double value = 0.0; ///< observed value (valid with hasValue)
+    double evidenceSimSeconds = 0.0;
+    std::string detail; ///< present for skipped/pending verdicts
+};
+
+/** Result of loading a rules file: rules, or a non-empty error. */
+struct AlertRulesLoad
+{
+    std::vector<AlertRule> rules;
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Parse a pcap-alert-rules-v1 document from JSON text. */
+AlertRulesLoad parseAlertRules(const std::string &jsonText);
+
+/** Read and parse a rules file; I/O problems land in .error. */
+AlertRulesLoad loadAlertRulesFile(const std::string &path);
+
+/**
+ * Evaluates a rule set against one run.
+ *
+ * Feeding order is the caller's contract: the fleet driver calls
+ * addQuantileEvidence once per shard in shard order and
+ * setQuantileValue once per fleet-level distribution, all on one
+ * thread; finalize() then snapshots the registry and settles every
+ * rule. The engine is not thread-safe by design — determinism comes
+ * from the fixed feeding order.
+ */
+class AlertEngine
+{
+  public:
+    explicit AlertEngine(std::vector<AlertRule> rules);
+
+    const std::vector<AlertRule> &rules() const { return rules_; }
+
+    /**
+     * One shard's distribution sketch, covering @p simSeconds of
+     * replayed simulated time. Every quantile rule matching
+     * (@p distribution, @p policy) whose quantile of @p sketch
+     * breaches accumulates the span as firing evidence.
+     */
+    void addQuantileEvidence(const std::string &distribution,
+                             const std::string &policy,
+                             const LogSketch &sketch,
+                             double simSeconds);
+
+    /**
+     * The fleet-level (merged) distribution: sets the headline value
+     * matching quantile rules are judged on. With several matching
+     * distributions (empty policy filter) the most-breaching value
+     * wins.
+     */
+    void setQuantileValue(const std::string &distribution,
+                          const std::string &policy,
+                          const LogSketch &sketch);
+
+    /**
+     * Settle every rule: threshold/ratio rules aggregate over a
+     * snapshot of @p registry (with the run's total simulated span,
+     * read from the span counters, as evidence), quantile rules
+     * settle on the fed distributions. Idempotent state: call once.
+     */
+    void finalize(const MetricsRegistry &registry);
+
+    bool finalized() const { return finalized_; }
+
+    /** Per-rule outcomes, parallel to rules(); valid after
+     * finalize(). */
+    const std::vector<AlertOutcome> &outcomes() const
+    {
+        return outcomes_;
+    }
+
+    /** Fired rules of @p severity. */
+    std::size_t firedCount(AlertSeverity severity) const;
+
+    /** 0 = nothing fired, 3 = warn fired, 4 = critical fired. */
+    int exitCode() const;
+
+    /** The machine-readable pcap-alerts-v1 block. */
+    Json toJson() const;
+
+    /** Record pcap_alerts_fired_total{rule,severity} for every
+     * fired rule. */
+    void recordMetrics(MetricsRegistry &registry) const;
+
+    /** Human summary, one line per rule. */
+    void printSummary(std::ostream &os) const;
+
+  private:
+    std::vector<AlertRule> rules_;
+    std::vector<AlertOutcome> outcomes_;
+    std::vector<bool> sawDistribution_;
+    bool finalized_ = false;
+};
+
+} // namespace pcap::obs
+
+#endif // PCAP_OBS_ALERTS_HPP

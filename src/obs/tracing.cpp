@@ -162,6 +162,18 @@ TraceRecorder::threadCount() const
 void
 TraceRecorder::writeChromeTrace(const std::string &path) const
 {
+    // A full ring silently truncates the profile's tail; surface
+    // that once, at write time, so a "why is this phase missing"
+    // hunt starts from the drop count instead of the rendered file.
+    const std::uint64_t dropped = totalDropped();
+    if (dropped > 0 &&
+        !dropWarned_.exchange(true, std::memory_order_relaxed)) {
+        warn("trace profile dropped " + std::to_string(dropped) +
+             " spans (per-thread ring capacity " +
+             std::to_string(capacity_) +
+             "); raise TraceRecorder capacity or trace less");
+    }
+
     std::ofstream os(path, std::ios::trunc);
     if (!os)
         fatal("cannot open trace profile " + path);

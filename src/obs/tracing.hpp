@@ -92,6 +92,10 @@ class TraceRecorder
     std::int64_t epochNs_;
     mutable std::mutex mutex_; ///< guards buffers_ registration
     std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+
+    /** One overflow warning per recorder, however many times the
+     * profile is written. */
+    mutable std::atomic<bool> dropWarned_{false};
 };
 
 /** Install @p recorder as the process-wide span sink (nullptr

@@ -3,16 +3,21 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <filesystem>
 #include <iomanip>
 #include <iterator>
 #include <map>
 #include <sstream>
 #include <utility>
 
+#include "obs/alerts.hpp"
+#include "obs/provenance.hpp"
+#include "obs/timeline.hpp"
 #include "obs/tracing.hpp"
 #include "sim/drivers.hpp"
 #include "sim/execution_source.hpp"
 #include "sim/experiment.hpp"
+#include "sim/observer.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pcap::sim {
@@ -126,6 +131,7 @@ struct ShardAccum
     std::uint64_t executions = 0;
     std::uint64_t accesses = 0;
     std::uint64_t opportunities = 0;
+    std::uint64_t simSpanUs = 0;
     obs::LogSketch baseEnergy;
     double baseSum = 0.0;
     std::vector<PolicyAccum> policies;
@@ -139,6 +145,7 @@ struct ShardAccum
     {
         executions += cell.executions;
         accesses += cell.accesses;
+        simSpanUs += cell.simSpanUs;
         // Idle opportunities are a property of the host's access
         // stream, identical across drivers; count them once, from
         // the baseline run.
@@ -173,12 +180,60 @@ struct ShardAccum
         executions += other.executions;
         accesses += other.accesses;
         opportunities += other.opportunities;
+        simSpanUs += other.simSpanUs;
         baseEnergy.merge(other.baseEnergy);
         baseSum += other.baseSum;
         for (std::size_t p = 0; p < policies.size(); ++p)
             policies[p].mergeFrom(std::move(other.policies[p]));
     }
 };
+
+/**
+ * Feed one accumulator's distribution sketches to the alert engine:
+ * as shard evidence (@p fleetLevel false, during the serial merge)
+ * or as the fleet-level headline values (@p fleetLevel true, after
+ * it). One place, so the distribution names cannot drift between
+ * the two calls.
+ */
+void
+feedAlertSketches(obs::AlertEngine &alerts, const ShardAccum &accum,
+                  const std::vector<PolicyConfig> &policies,
+                  bool fleetLevel)
+{
+    const double spanSeconds =
+        static_cast<double>(accum.simSpanUs) / 1e6;
+    auto feed = [&](const std::string &distribution,
+                    const std::string &policy,
+                    const obs::LogSketch &sketch) {
+        if (fleetLevel)
+            alerts.setQuantileValue(distribution, policy, sketch);
+        else
+            alerts.addQuantileEvidence(distribution, policy, sketch,
+                                       spanSeconds);
+    };
+    feed("base_energy_j", "base", accum.baseEnergy);
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        const PolicyAccum &policyAccum = accum.policies[p];
+        const std::string &label = policies[p].label;
+        feed("energy_j", label, policyAccum.energy);
+        feed("saved_fraction", label, policyAccum.saved);
+        feed("hit_fraction", label, policyAccum.hit);
+        feed("miss_fraction", label, policyAccum.miss);
+    }
+}
+
+/** "mozilla+netscape": the host's app mix as one label. */
+std::string
+appMixLabel(const workload::HostProfile &profile)
+{
+    std::string label;
+    for (const workload::AppShare &share : profile.appMix) {
+        if (!label.empty())
+            label += "+";
+        label += share.app;
+    }
+    return label;
+}
 
 } // namespace
 
@@ -292,6 +347,7 @@ FleetDriver::runHost(const workload::HostProfile &profile,
     while (const ExecutionInput *input = source.next()) {
         ++cell.executions;
         cell.accesses += input->accesses.size();
+        cell.simSpanUs += static_cast<std::uint64_t>(input->endTime);
         for (std::size_t p = 0; p < policies.size(); ++p)
             cell.policyRuns[p].merge(
                 kernel.runExecution(*input, drivers[p]));
@@ -300,6 +356,117 @@ FleetDriver::runHost(const workload::HostProfile &profile,
     for (std::size_t p = 0; p < policies.size(); ++p)
         cell.tableEntries[p] = sessions[p].tableEntries();
     return cell;
+}
+
+HostDrilldown
+FleetDriver::drillHost(const workload::HostProfile &profile,
+                       const std::vector<PolicyConfig> &policies,
+                       const std::string &dir) const
+{
+    obs::Span span("fleet-drilldown",
+                   "host " + std::to_string(profile.host));
+    std::filesystem::create_directories(dir);
+
+    HostDrilldown drill;
+    drill.host = profile.host;
+    drill.seed = profile.seed;
+    drill.thinkTimeScale = profile.thinkTimeScale;
+
+    /** One policy's fully-instrumented cell: the same observer
+     * stack ParallelEvaluation::instrument assembles, bound to the
+     * host cell's persistent session. Fields initialize in
+     * declaration order — the tee and kernel come last because they
+     * hold references into the earlier members. */
+    struct DrillCell
+    {
+        std::string stem;
+        PolicySession session;
+        GlobalDriver driver;
+        JsonlTraceObserver trace;
+        obs::ProvenanceRecorder provRecorder;
+        obs::BinaryProvenanceWriter provBinary;
+        obs::JsonlProvenanceWriter provJsonl;
+        ProvenanceObserver provenance;
+        TimelineObserver timeline;
+        TeeObserver tee;
+        SimulationKernel kernel;
+
+        DrillCell(std::string cellStem, const PolicyConfig &policy,
+                  const SimParams &sim, const std::string &dir)
+            : stem(std::move(cellStem)), session(policy),
+              driver(session), trace(dir + "/" + stem + ".jsonl"),
+              provBinary(dir + "/" + stem + ".prov.bin"),
+              provJsonl(dir + "/" + stem + ".prov.jsonl", stem),
+              provenance(provRecorder, sim.disk),
+              timeline(sim.disk),
+              tee({&trace, &provenance, &timeline}),
+              kernel(sim, tee)
+        {
+            provRecorder.addSink(&provBinary);
+            provRecorder.addSink(&provJsonl);
+            session.setProvenanceTap(&provenance);
+            provenance.bindDecisionPid(
+                [this] { return driver.decisionPid(); });
+            timeline.bindTableSize(
+                [this] { return session.tableEntries(); });
+        }
+    };
+
+    // deque: cells hold internal references, so they must not move.
+    std::deque<DrillCell> cells;
+    for (const PolicyConfig &policy : policies) {
+        cells.emplace_back("host" + std::to_string(profile.host) +
+                               "-" + policy.label + "-" +
+                               policyHashLabel(policy),
+                           policy, sim_, dir);
+    }
+    BaseDriver base;
+    SimulationKernel baseKernel(sim_); // uninstrumented baseline
+
+    std::vector<RunResult> runs(policies.size());
+    RunResult baseRun;
+    HostExecutionSource source(profile, cacheParams_);
+    while (const ExecutionInput *input = source.next()) {
+        ++drill.executions;
+        drill.accesses += input->accesses.size();
+        drill.simSpanUs +=
+            static_cast<std::uint64_t>(input->endTime);
+        for (std::size_t p = 0; p < policies.size(); ++p)
+            runs[p].merge(
+                cells[p].kernel.runExecution(*input, cells[p].driver));
+        baseRun.merge(baseKernel.runExecution(*input, base));
+    }
+    drill.baseEnergyJ = baseRun.energy.total();
+
+    const std::string app = appMixLabel(profile);
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        DrillCell &cell = cells[p];
+        cell.provRecorder.close();
+        const obs::TimelineMeta meta = TimelineObserver::makeMeta(
+            cell.stem, "fleet", app, policies[p].label);
+        obs::writeTimelineJson(cell.timeline.timeline(), meta,
+                               dir + "/" + cell.stem +
+                                   ".timeline.json");
+        obs::writeTimelineCsv(cell.timeline.timeline(), meta,
+                              dir + "/" + cell.stem +
+                                  ".timeline.csv");
+
+        DrilldownPolicy summary;
+        summary.policy = policies[p].label;
+        summary.stem = cell.stem;
+        summary.energyJ = runs[p].energy.total();
+        summary.savedFraction =
+            drill.baseEnergyJ > 0.0
+                ? 1.0 - summary.energyJ / drill.baseEnergyJ
+                : 0.0;
+        summary.hitFraction = runs[p].accuracy.hitFraction();
+        summary.missFraction = runs[p].accuracy.missFraction();
+        summary.shutdowns = runs[p].shutdowns;
+        summary.spinUps = runs[p].spinUps;
+        summary.tableEntries = cell.session.tableEntries();
+        drill.policies.push_back(std::move(summary));
+    }
+    return drill;
 }
 
 FleetReport
@@ -337,17 +504,27 @@ FleetDriver::run(const std::vector<PolicyConfig> &policies) const
     });
 
     // Serial merge in shard order: deterministic and cheap — O(K)
-    // sketch buckets and candidates per shard, not O(hosts).
+    // sketch buckets and candidates per shard, not O(hosts). Each
+    // shard's sketches feed the alert engine as firing evidence just
+    // before the merge consumes them, still in shard order.
     ShardAccum total(policies.size());
-    for (ShardAccum &shard : accums)
+    for (ShardAccum &shard : accums) {
+        if (options_.alerts)
+            feedAlertSketches(*options_.alerts, shard, policies,
+                              /*fleetLevel=*/false);
         total.mergeFrom(std::move(shard));
+    }
     accums.clear();
+    if (options_.alerts)
+        feedAlertSketches(*options_.alerts, total, policies,
+                          /*fleetLevel=*/true);
 
     FleetReport report;
     report.hosts = fleet_.hosts;
     report.executions = total.executions;
     report.accesses = total.accesses;
     report.opportunities = total.opportunities;
+    report.simSpanUs = total.simSpanUs;
     report.baseEnergyJ = percentilesOf(total.baseEnergy);
     report.meanBaseEnergyJ =
         hosts ? total.baseSum / static_cast<double>(hosts) : 0.0;
@@ -408,6 +585,38 @@ FleetDriver::run(const std::vector<PolicyConfig> &policies) const
     if (options_.keepHostResults)
         report.hostResults = std::move(kept);
 
+    if (!options_.drilldownDir.empty()) {
+        // Pass 2: re-simulate every flagged host, instrumented.
+        // Flags dedup into one ascending host list; slot ownership
+        // is positional, so the drilled vector is host-ordered and
+        // thread-count independent like everything else here.
+        std::vector<std::uint64_t> flagged;
+        for (const FleetPolicyReport &policy : report.policies)
+            for (const FleetOutlier &outlier : policy.outliers)
+                flagged.push_back(outlier.host);
+        std::sort(flagged.begin(), flagged.end());
+        flagged.erase(
+            std::unique(flagged.begin(), flagged.end()),
+            flagged.end());
+
+        report.drilldowns.resize(flagged.size());
+        pcap::parallelFor(
+            options_.jobs, flagged.size(), [&](std::size_t i) {
+                report.drilldowns[i] = drillHost(
+                    workload::hostProfile(fleet_, flagged[i]),
+                    policies, options_.drilldownDir);
+            });
+        for (HostDrilldown &drill : report.drilldowns) {
+            for (const FleetPolicyReport &policy : report.policies)
+                for (const FleetOutlier &outlier : policy.outliers)
+                    if (outlier.host == drill.host)
+                        drill.reasons.push_back(
+                            {policy.policy, outlier.metric,
+                             outlier.value, outlier.median,
+                             outlier.score});
+        }
+    }
+
     recordMetrics(report, policies);
     return report;
 }
@@ -430,6 +639,11 @@ FleetDriver::recordMetrics(
         .inc(report.accesses);
     scope.counter("pcap_fleet_idle_opportunities_total")
         .inc(report.opportunities);
+    scope.counter("pcap_fleet_sim_span_us_total")
+        .inc(report.simSpanUs);
+    if (!options_.drilldownDir.empty())
+        scope.gauge("pcap_fleet_drilldown_hosts")
+            .set(static_cast<double>(report.drilldowns.size()));
 
     auto quantiles = [](const obs::ScopedMetrics &where,
                         const std::string &name,

@@ -35,6 +35,10 @@
 #include "sim/policy.hpp"
 #include "workload/host_profile.hpp"
 
+namespace pcap::obs {
+class AlertEngine;
+}
+
 namespace pcap::sim {
 
 /** Hosts folded into one shard accumulator. Fixed (independent of
@@ -101,6 +105,7 @@ struct HostCellResult
     std::uint64_t host = 0;
     std::uint64_t executions = 0;
     std::uint64_t accesses = 0; ///< post-cache disk accesses replayed
+    std::uint64_t simSpanUs = 0; ///< replayed simulated span (µs)
     double thinkTimeScale = 1.0;
 
     RunResult base; ///< no power management (the energy baseline)
@@ -141,6 +146,49 @@ struct FleetPolicyReport
     std::vector<FleetOutlier> outliers;
 };
 
+/** Why a host was re-simulated: one pass-1 outlier flag. */
+struct DrilldownReason
+{
+    std::string policy; ///< policy whose distribution flagged it
+    std::string metric; ///< "saved_fraction" or "miss_fraction"
+    double value = 0.0;
+    double median = 0.0;
+    double score = 0.0; ///< |value - median| in MAD units
+};
+
+/** One policy's drilled re-run of an outlier host. */
+struct DrilldownPolicy
+{
+    std::string policy;
+    std::string stem; ///< artifact basename (no directory/extension)
+    double energyJ = 0.0;
+    double savedFraction = 0.0; ///< vs. the host's base run
+    double hitFraction = 0.0;
+    double missFraction = 0.0;
+    std::uint64_t shutdowns = 0;
+    std::uint64_t spinUps = 0;
+    std::size_t tableEntries = 0;
+};
+
+/**
+ * The pass-2 re-simulation of one flagged host, fully instrumented:
+ * per policy one idle-period trace (.jsonl), one provenance pair
+ * (.prov.bin/.prov.jsonl) and one timeline (.timeline.json/.csv),
+ * all named <stem>.<ext> inside the drill-down directory.
+ */
+struct HostDrilldown
+{
+    std::uint64_t host = 0;
+    std::uint64_t seed = 0; ///< the host's derived workload seed
+    double thinkTimeScale = 1.0;
+    std::uint64_t executions = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t simSpanUs = 0;
+    double baseEnergyJ = 0.0;
+    std::vector<DrilldownReason> reasons; ///< pass-1 outlier flags
+    std::vector<DrilldownPolicy> policies;
+};
+
 /** The fleet run's aggregate output. */
 struct FleetReport
 {
@@ -148,6 +196,7 @@ struct FleetReport
     std::uint64_t executions = 0;
     std::uint64_t accesses = 0;
     std::uint64_t opportunities = 0; ///< breakeven-exceeding periods
+    std::uint64_t simSpanUs = 0;     ///< fleet-total simulated span
 
     FleetPercentiles baseEnergyJ;
     double meanBaseEnergyJ = 0.0;
@@ -157,6 +206,10 @@ struct FleetReport
     /** Per-host cells, only with FleetOptions::keepHostResults (the
      * default drops them — a 10k-host report stays small). */
     std::vector<HostCellResult> hostResults;
+
+    /** Flagged hosts re-simulated with full instrumentation, in
+     * host order; only with FleetOptions::drilldownDir. */
+    std::vector<HostDrilldown> drilldowns;
 };
 
 /** Knobs of a fleet run. */
@@ -181,6 +234,27 @@ struct FleetOptions
      * MADs from the fleet median (the robust z-score cut; 3.5 is
      * the conventional Iglewicz-Hoaglin threshold). */
     double outlierMadThreshold = 3.5;
+
+    /**
+     * Alert engine fed the fleet's quantile distributions, or null.
+     * Each shard's sketches land via addQuantileEvidence in shard
+     * order during the serial merge, the fleet-level merged sketches
+     * via setQuantileValue — all on the calling thread, so verdicts
+     * are deterministic for every thread count. The caller still
+     * owns finalize().
+     */
+    obs::AlertEngine *alerts = nullptr;
+
+    /**
+     * When non-empty: after aggregation, re-simulate every
+     * MAD-flagged outlier host with full instrumentation (idle
+     * trace + provenance + timeline per policy) into this
+     * directory — the deterministic drill-down pass. Re-runs are
+     * bit-identical to pass 1 because a HostProfile is a pure
+     * function of (fleet config, host index) and observers never
+     * influence the replay.
+     */
+    std::string drilldownDir;
 };
 
 /**
@@ -210,6 +284,19 @@ class FleetDriver
     HostCellResult
     runHost(const workload::HostProfile &profile,
             const std::vector<PolicyConfig> &policies) const;
+
+    /**
+     * Re-simulate one host with full instrumentation, writing one
+     * idle-period trace, provenance pair and timeline per policy
+     * into @p dir (stems "host<id>-<policy>-<hash16>"). The replay
+     * is bit-identical to runHost's — observers are passive — so a
+     * drilled host's artifacts answer "why was pass 1's number what
+     * it was". Public for the drill-down determinism tests.
+     */
+    HostDrilldown
+    drillHost(const workload::HostProfile &profile,
+              const std::vector<PolicyConfig> &policies,
+              const std::string &dir) const;
 
     const workload::FleetConfig &fleet() const { return fleet_; }
 

@@ -1,11 +1,357 @@
 #include "util/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/logging.hpp"
 
 namespace pcap {
+
+namespace {
+
+/**
+ * Recursive-descent JSON parser. Strict where it matters for the
+ * documents the harness consumes (alert rule files): full string
+ * escapes including surrogate pairs, strtod numbers, a nesting-depth
+ * cap so hostile input cannot blow the stack.
+ */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    bool parse(Json &out, std::string *error)
+    {
+        skipWhitespace();
+        if (!parseValue(out, 0))
+            return fail(error);
+        skipWhitespace();
+        if (pos_ != text_.size()) {
+            problem_ = "trailing characters after the document";
+            return fail(error);
+        }
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 200;
+
+    bool fail(std::string *error) const
+    {
+        if (error) {
+            *error = "offset " + std::to_string(pos_) + ": " +
+                     (problem_.empty() ? "malformed JSON" : problem_);
+        }
+        return false;
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool consume(const char *literal)
+    {
+        std::size_t i = 0;
+        while (literal[i]) {
+            if (pos_ + i >= text_.size() ||
+                text_[pos_ + i] != literal[i])
+                return false;
+            ++i;
+        }
+        pos_ += i;
+        return true;
+    }
+
+    bool parseValue(Json &out, int depth)
+    {
+        if (depth > kMaxDepth) {
+            problem_ = "nesting deeper than " +
+                       std::to_string(kMaxDepth) + " levels";
+            return false;
+        }
+        if (pos_ >= text_.size()) {
+            problem_ = "unexpected end of input";
+            return false;
+        }
+        switch (text_[pos_]) {
+          case 'n':
+            if (!consume("null")) {
+                problem_ = "expected 'null'";
+                return false;
+            }
+            out = Json();
+            return true;
+          case 't':
+            if (!consume("true")) {
+                problem_ = "expected 'true'";
+                return false;
+            }
+            out = Json(true);
+            return true;
+          case 'f':
+            if (!consume("false")) {
+                problem_ = "expected 'false'";
+                return false;
+            }
+            out = Json(false);
+            return true;
+          case '"': {
+            std::string value;
+            if (!parseString(value))
+                return false;
+            out = Json(std::move(value));
+            return true;
+          }
+          case '[': return parseArray(out, depth);
+          case '{': return parseObject(out, depth);
+          default: return parseNumber(out);
+        }
+    }
+
+    bool parseArray(Json &out, int depth)
+    {
+        ++pos_; // '['
+        out = Json::array();
+        skipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            Json element;
+            skipWhitespace();
+            if (!parseValue(element, depth + 1))
+                return false;
+            out.push(std::move(element));
+            skipWhitespace();
+            if (pos_ >= text_.size()) {
+                problem_ = "unterminated array";
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            problem_ = "expected ',' or ']' in array";
+            return false;
+        }
+    }
+
+    bool parseObject(Json &out, int depth)
+    {
+        ++pos_; // '{'
+        out = Json::object();
+        skipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWhitespace();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                problem_ = "expected a string object key";
+                return false;
+            }
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWhitespace();
+            if (pos_ >= text_.size() || text_[pos_] != ':') {
+                problem_ = "expected ':' after object key";
+                return false;
+            }
+            ++pos_;
+            skipWhitespace();
+            if (!parseValue(out[key], depth + 1))
+                return false;
+            skipWhitespace();
+            if (pos_ >= text_.size()) {
+                problem_ = "unterminated object";
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            problem_ = "expected ',' or '}' in object";
+            return false;
+        }
+    }
+
+    bool parseNumber(Json &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        const std::size_t digits = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == digits) {
+            problem_ = "expected a value";
+            pos_ = start;
+            return false;
+        }
+        const std::string token =
+            text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() ||
+            !std::isfinite(value)) {
+            problem_ = "malformed number '" + token + "'";
+            pos_ = start;
+            return false;
+        }
+        out = Json(value);
+        return true;
+    }
+
+    /** Append code point @p cp to @p out as UTF-8. */
+    static void appendUtf8(std::string &out, unsigned long cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool parseHex4(unsigned long &value)
+    {
+        if (pos_ + 4 > text_.size()) {
+            problem_ = "truncated \\u escape";
+            return false;
+        }
+        value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_ + static_cast<std::size_t>(i)];
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<unsigned long>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<unsigned long>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<unsigned long>(c - 'A' + 10);
+            else {
+                problem_ = "bad hex digit in \\u escape";
+                return false;
+            }
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size()) {
+                problem_ = "unterminated string";
+                return false;
+            }
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                problem_ = "unescaped control character in string";
+                return false;
+            }
+            if (c != '\\') {
+                out += c;
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (pos_ >= text_.size()) {
+                problem_ = "unterminated escape";
+                return false;
+            }
+            const char escape = text_[pos_++];
+            switch (escape) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned long cp = 0;
+                if (!parseHex4(cp))
+                    return false;
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: a \uDC00-\uDFFF low half must
+                    // follow to form one supplementary code point.
+                    if (pos_ + 1 >= text_.size() ||
+                        text_[pos_] != '\\' ||
+                        text_[pos_ + 1] != 'u') {
+                        problem_ = "lone high surrogate";
+                        return false;
+                    }
+                    pos_ += 2;
+                    unsigned long low = 0;
+                    if (!parseHex4(low))
+                        return false;
+                    if (low < 0xdc00 || low > 0xdfff) {
+                        problem_ = "bad low surrogate";
+                        return false;
+                    }
+                    cp = 0x10000 + ((cp - 0xd800) << 10) +
+                         (low - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    problem_ = "lone low surrogate";
+                    return false;
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                problem_ = "unknown escape";
+                return false;
+            }
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string problem_;
+};
+
+} // namespace
 
 Json
 Json::object()
@@ -34,6 +380,29 @@ Json::operator[](const std::string &key)
     if (inserted)
         keys_.push_back(key);
     return it->second;
+}
+
+bool
+Json::parse(const std::string &text, Json &out, std::string *error)
+{
+    return JsonParser(text).parse(out, error);
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    const auto it = members_.find(key);
+    return it == members_.end() ? nullptr : &it->second;
+}
+
+const Json &
+Json::at(std::size_t index) const
+{
+    if (kind_ != Kind::Array || index >= array_.size())
+        panic("Json: at() out of range");
+    return array_[index];
 }
 
 Json &

@@ -1,9 +1,11 @@
 /**
  * @file
- * Minimal JSON document builder used by the bench driver to emit
- * machine-readable results (BENCH_RESULTS.json). Write-only: the
- * reproduction never parses JSON, it only produces it for tooling
- * (tools/compare_bench.py) to diff against checked-in references.
+ * Minimal JSON document support used by the bench driver: a builder
+ * for machine-readable results (BENCH_RESULTS.json) and a small
+ * recursive-descent parser for the few documents the harness reads
+ * back in (alert rule files, see obs/alerts.hpp). Objects keep
+ * insertion order in both directions, so emitted documents diff
+ * cleanly and re-emitted ones round-trip.
  */
 
 #ifndef PCAP_UTIL_JSON_HPP
@@ -45,6 +47,48 @@ class Json
 
     /** An empty array (distinct from null). */
     static Json array();
+
+    /**
+     * Parse @p text as one JSON document (leading/trailing
+     * whitespace allowed, nothing else may follow). On success @p out
+     * holds the document and the call returns true; on malformed
+     * input it returns false and, when @p error is non-null, fills it
+     * with "offset N: problem".
+     */
+    static bool parse(const std::string &text, Json &out,
+                      std::string *error = nullptr);
+
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** The boolean payload; @p fallback for non-bools. */
+    bool asBool(bool fallback = false) const
+    {
+        return kind_ == Kind::Bool ? bool_ : fallback;
+    }
+
+    /** The numeric payload; @p fallback for non-numbers. */
+    double asDouble(double fallback = 0.0) const
+    {
+        return kind_ == Kind::Number ? number_ : fallback;
+    }
+
+    /** The string payload; empty for non-strings. */
+    const std::string &asString() const { return string_; }
+
+    /** Member @p key of an object, or nullptr when absent (or when
+     * this value is not an object). */
+    const Json *find(const std::string &key) const;
+
+    /** Element @p index of an array; panics out of range. */
+    const Json &at(std::size_t index) const;
+
+    /** Object keys in insertion order; empty for non-objects. */
+    const std::vector<std::string> &keys() const { return keys_; }
 
     /** Object access; creates the key (and objectifies null). */
     Json &operator[](const std::string &key);

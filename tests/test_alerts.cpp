@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Alert/SLO rule engine tests: pcap-alert-rules-v1 parsing, rule
+ * evaluation against a MetricsRegistry and fleet sketches, the
+ * simulated-time evidence gate, exit-code mapping, and the shape of
+ * the emitted pcap-alerts-v1 block.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/alerts.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sketch.hpp"
+#include "util/json.hpp"
+
+namespace pcap::obs {
+namespace {
+
+std::vector<AlertRule>
+mustParse(const std::string &text)
+{
+    AlertRulesLoad load = parseAlertRules(text);
+    EXPECT_TRUE(load.ok()) << load.error;
+    return std::move(load.rules);
+}
+
+TEST(AlertRules, ParsesAllThreeKinds)
+{
+    std::vector<AlertRule> rules = mustParse(R"({
+      "schema": "pcap-alert-rules-v1",
+      "rules": [
+        {"name": "outliers", "severity": "warn",
+         "metric": {"name": "pcap_fleet_outlier_hosts",
+                    "agg": "max"},
+         "op": ">", "value": 8},
+        {"name": "oracle-ratio", "severity": "critical",
+         "ratio": {
+           "numerator": {"name": "pcap_energy_joules",
+                         "labels": {"mode": "global"}},
+           "denominator": {"name": "pcap_energy_joules",
+                           "labels": {"mode": "ideal"}}},
+         "op": ">=", "value": 3.0, "for_sim_seconds": 60},
+        {"name": "p99-miss", "severity": "warn",
+         "quantile": {"distribution": "miss_fraction",
+                      "q": 0.99, "policy": "PCAP"},
+         "op": "<", "value": 0.5}
+      ]
+    })");
+    ASSERT_EQ(rules.size(), 3u);
+
+    EXPECT_EQ(rules[0].name, "outliers");
+    EXPECT_EQ(rules[0].kind, AlertKind::Threshold);
+    EXPECT_EQ(rules[0].severity, AlertSeverity::Warn);
+    EXPECT_EQ(rules[0].op, AlertComparator::Gt);
+    EXPECT_EQ(rules[0].metric.metric, "pcap_fleet_outlier_hosts");
+    EXPECT_EQ(rules[0].metric.agg, MetricAgg::Max);
+    EXPECT_DOUBLE_EQ(rules[0].value, 8.0);
+    EXPECT_DOUBLE_EQ(rules[0].forSimSeconds, 0.0);
+
+    EXPECT_EQ(rules[1].kind, AlertKind::Ratio);
+    EXPECT_EQ(rules[1].severity, AlertSeverity::Critical);
+    EXPECT_EQ(rules[1].op, AlertComparator::Ge);
+    EXPECT_DOUBLE_EQ(rules[1].forSimSeconds, 60.0);
+    ASSERT_EQ(rules[1].numerator.labels.size(), 1u);
+    EXPECT_EQ(rules[1].numerator.labels[0].first, "mode");
+    EXPECT_EQ(rules[1].numerator.labels[0].second, "global");
+    EXPECT_EQ(rules[1].denominator.labels[0].second, "ideal");
+
+    EXPECT_EQ(rules[2].kind, AlertKind::Quantile);
+    EXPECT_EQ(rules[2].op, AlertComparator::Lt);
+    EXPECT_EQ(rules[2].distribution, "miss_fraction");
+    EXPECT_DOUBLE_EQ(rules[2].q, 0.99);
+    EXPECT_EQ(rules[2].policy, "PCAP");
+}
+
+TEST(AlertRules, RejectsMalformedDocuments)
+{
+    const char *bad[] = {
+        "not json at all",
+        R"({"schema": "wrong-schema", "rules": []})",
+        R"({"schema": "pcap-alert-rules-v1"})",
+        R"({"schema": "pcap-alert-rules-v1", "rules": []})",
+        // no condition shape at all
+        R"({"schema": "pcap-alert-rules-v1", "rules": [
+            {"name": "r", "op": ">", "value": 1}]})",
+        // two condition shapes on one rule
+        R"({"schema": "pcap-alert-rules-v1", "rules": [
+            {"name": "r",
+             "metric": {"name": "m"},
+             "quantile": {"distribution": "energy_j", "q": 0.5},
+             "op": ">", "value": 1}]})",
+        // duplicate rule names
+        R"({"schema": "pcap-alert-rules-v1", "rules": [
+            {"name": "r", "metric": {"name": "m"},
+             "op": ">", "value": 1},
+            {"name": "r", "metric": {"name": "m"},
+             "op": "<", "value": 2}]})",
+        // unknown severity / comparator / aggregation
+        R"({"schema": "pcap-alert-rules-v1", "rules": [
+            {"name": "r", "severity": "fatal",
+             "metric": {"name": "m"}, "op": ">", "value": 1}]})",
+        R"({"schema": "pcap-alert-rules-v1", "rules": [
+            {"name": "r", "metric": {"name": "m"},
+             "op": "!=", "value": 1}]})",
+        R"({"schema": "pcap-alert-rules-v1", "rules": [
+            {"name": "r",
+             "metric": {"name": "m", "agg": "median"},
+             "op": ">", "value": 1}]})",
+        // missing threshold constant
+        R"({"schema": "pcap-alert-rules-v1", "rules": [
+            {"name": "r", "metric": {"name": "m"}, "op": ">"}]})",
+    };
+    for (const char *text : bad) {
+        AlertRulesLoad load = parseAlertRules(text);
+        EXPECT_FALSE(load.ok()) << text;
+        EXPECT_FALSE(load.error.empty()) << text;
+    }
+}
+
+TEST(AlertRules, MissingFileReportsError)
+{
+    AlertRulesLoad load =
+        loadAlertRulesFile("/nonexistent/alert-rules.json");
+    EXPECT_FALSE(load.ok());
+}
+
+TEST(AlertCompare, AllComparators)
+{
+    EXPECT_TRUE(alertCompare(AlertComparator::Gt, 2.0, 1.0));
+    EXPECT_FALSE(alertCompare(AlertComparator::Gt, 1.0, 1.0));
+    EXPECT_TRUE(alertCompare(AlertComparator::Ge, 1.0, 1.0));
+    EXPECT_FALSE(alertCompare(AlertComparator::Ge, 0.9, 1.0));
+    EXPECT_TRUE(alertCompare(AlertComparator::Lt, 0.5, 1.0));
+    EXPECT_FALSE(alertCompare(AlertComparator::Lt, 1.0, 1.0));
+    EXPECT_TRUE(alertCompare(AlertComparator::Le, 1.0, 1.0));
+    EXPECT_FALSE(alertCompare(AlertComparator::Le, 1.1, 1.0));
+}
+
+TEST(AlertEngine, ThresholdFiresAndMapsExitCodes)
+{
+    MetricsRegistry registry;
+    registry.gauge("pcap_fleet_outlier_hosts").set(12.0);
+
+    AlertEngine engine(mustParse(R"({
+      "schema": "pcap-alert-rules-v1",
+      "rules": [
+        {"name": "warns", "severity": "warn",
+         "metric": {"name": "pcap_fleet_outlier_hosts",
+                    "agg": "max"},
+         "op": ">", "value": 8},
+        {"name": "quiet", "severity": "critical",
+         "metric": {"name": "pcap_fleet_outlier_hosts",
+                    "agg": "max"},
+         "op": ">", "value": 100},
+        {"name": "absent", "severity": "critical",
+         "metric": {"name": "pcap_no_such_metric"},
+         "op": ">", "value": 0}
+      ]
+    })"));
+    engine.finalize(registry);
+
+    ASSERT_EQ(engine.outcomes().size(), 3u);
+    EXPECT_EQ(engine.outcomes()[0].status, AlertStatus::Fired);
+    EXPECT_TRUE(engine.outcomes()[0].hasValue);
+    EXPECT_DOUBLE_EQ(engine.outcomes()[0].value, 12.0);
+    EXPECT_EQ(engine.outcomes()[1].status, AlertStatus::Ok);
+    EXPECT_EQ(engine.outcomes()[2].status, AlertStatus::Skipped);
+
+    EXPECT_EQ(engine.firedCount(AlertSeverity::Warn), 1u);
+    EXPECT_EQ(engine.firedCount(AlertSeverity::Critical), 0u);
+    EXPECT_EQ(engine.exitCode(), 3);
+}
+
+TEST(AlertEngine, CriticalOutranksWarnInExitCode)
+{
+    MetricsRegistry registry;
+    registry.counter("events_total").inc(10);
+
+    AlertEngine engine(mustParse(R"({
+      "schema": "pcap-alert-rules-v1",
+      "rules": [
+        {"name": "w", "severity": "warn",
+         "metric": {"name": "events_total"},
+         "op": ">", "value": 1},
+        {"name": "c", "severity": "critical",
+         "metric": {"name": "events_total"},
+         "op": ">", "value": 5}
+      ]
+    })"));
+    engine.finalize(registry);
+    EXPECT_EQ(engine.exitCode(), 4);
+
+    // Fired rules land in pcap_alerts_fired_total{rule,severity}.
+    engine.recordMetrics(registry);
+    EXPECT_EQ(registry
+                  .counter("pcap_alerts_fired_total",
+                           {{"rule", "c"},
+                            {"severity", "critical"}})
+                  .value(),
+              1u);
+}
+
+TEST(AlertEngine, RatioAggregatesAlternationAndSkipsZeroDenominator)
+{
+    MetricsRegistry registry;
+    registry
+        .counter("pcap_sim_idle_periods_total",
+                 {{"outcome", "miss_primary"}})
+        .inc(30);
+    registry
+        .counter("pcap_sim_idle_periods_total",
+                 {{"outcome", "miss_backup"}})
+        .inc(10);
+    registry
+        .counter("pcap_sim_idle_periods_total", {{"outcome", "hit"}})
+        .inc(1000);
+    registry
+        .counter("pcap_sim_shutdown_orders_total",
+                 {{"status", "issued"}})
+        .inc(80);
+
+    AlertEngine engine(mustParse(R"({
+      "schema": "pcap-alert-rules-v1",
+      "rules": [
+        {"name": "mispredict-rate", "severity": "warn",
+         "ratio": {
+           "numerator": {
+             "name": "pcap_sim_idle_periods_total",
+             "labels": {"outcome": "miss_primary|miss_backup"}},
+           "denominator": {
+             "name": "pcap_sim_shutdown_orders_total",
+             "labels": {"status": "issued"}}},
+         "op": ">", "value": 0.4},
+        {"name": "zero-denominator", "severity": "critical",
+         "ratio": {
+           "numerator": {
+             "name": "pcap_sim_idle_periods_total"},
+           "denominator": {
+             "name": "pcap_sim_shutdown_orders_total",
+             "labels": {"status": "no_such_status"}}},
+         "op": ">", "value": 0.0}
+      ]
+    })"));
+    engine.finalize(registry);
+
+    // (30 + 10) / 80 = 0.5 > 0.4: the alternation label matched
+    // exactly the two miss outcomes, not the hit series.
+    EXPECT_EQ(engine.outcomes()[0].status, AlertStatus::Fired);
+    EXPECT_DOUBLE_EQ(engine.outcomes()[0].value, 0.5);
+
+    // An empty denominator selection cannot produce a verdict.
+    EXPECT_EQ(engine.outcomes()[1].status, AlertStatus::Skipped);
+    EXPECT_EQ(engine.exitCode(), 3);
+}
+
+TEST(AlertEngine, ForSimSecondsGatesOnReplayedSpan)
+{
+    AlertEngine withoutSpan(mustParse(R"({
+      "schema": "pcap-alert-rules-v1",
+      "rules": [
+        {"name": "gated", "severity": "critical",
+         "metric": {"name": "events_total"},
+         "op": ">", "value": 1, "for_sim_seconds": 3600}
+      ]
+    })"));
+    {
+        // Breach backed by only 60 simulated seconds: pending, and
+        // a pending rule never contributes to the exit code.
+        MetricsRegistry registry;
+        registry.counter("events_total").inc(5);
+        registry.counter("pcap_sim_input_span_us_total")
+            .inc(60'000'000);
+        withoutSpan.finalize(registry);
+        EXPECT_EQ(withoutSpan.outcomes()[0].status,
+                  AlertStatus::Pending);
+        EXPECT_DOUBLE_EQ(
+            withoutSpan.outcomes()[0].evidenceSimSeconds, 60.0);
+        EXPECT_EQ(withoutSpan.exitCode(), 0);
+    }
+
+    AlertEngine withSpan(mustParse(R"({
+      "schema": "pcap-alert-rules-v1",
+      "rules": [
+        {"name": "gated", "severity": "critical",
+         "metric": {"name": "events_total"},
+         "op": ">", "value": 1, "for_sim_seconds": 3600}
+      ]
+    })"));
+    {
+        // Both span counters count: 1h of input replay + 1h of
+        // fleet replay comfortably clears the 1h floor.
+        MetricsRegistry registry;
+        registry.counter("events_total").inc(5);
+        registry.counter("pcap_sim_input_span_us_total")
+            .inc(3'000'000'000ull);
+        registry.counter("pcap_fleet_sim_span_us_total")
+            .inc(3'000'000'000ull);
+        withSpan.finalize(registry);
+        EXPECT_EQ(withSpan.outcomes()[0].status, AlertStatus::Fired);
+        EXPECT_DOUBLE_EQ(withSpan.outcomes()[0].evidenceSimSeconds,
+                         6000.0);
+        EXPECT_EQ(withSpan.exitCode(), 4);
+    }
+}
+
+TEST(AlertEngine, QuantileJudgesFleetSketchWithShardEvidence)
+{
+    AlertEngine engine(mustParse(R"({
+      "schema": "pcap-alert-rules-v1",
+      "rules": [
+        {"name": "p50-miss", "severity": "warn",
+         "quantile": {"distribution": "miss_fraction",
+                      "q": 0.5, "policy": "PCAP"},
+         "op": ">", "value": 0.2, "for_sim_seconds": 100},
+        {"name": "other-policy", "severity": "warn",
+         "quantile": {"distribution": "miss_fraction",
+                      "q": 0.5, "policy": "TP"},
+         "op": ">", "value": 0.2},
+        {"name": "never-fed", "severity": "critical",
+         "quantile": {"distribution": "saved_fraction", "q": 0.9},
+         "op": "<", "value": 0.0}
+      ]
+    })"));
+
+    LogSketch shard;
+    for (int i = 0; i < 100; ++i)
+        shard.add(0.5);
+    // Two breaching shards, each worth 80 simulated seconds,
+    // folded in shard order: evidence accumulates to 160 s.
+    engine.addQuantileEvidence("miss_fraction", "PCAP", shard, 80.0);
+    engine.addQuantileEvidence("miss_fraction", "PCAP", shard, 80.0);
+    engine.setQuantileValue("miss_fraction", "PCAP", shard);
+
+    // The TP distribution does not breach, so its shard spans are
+    // irrelevant and the rule settles ok.
+    LogSketch calm;
+    for (int i = 0; i < 100; ++i)
+        calm.add(0.1);
+    engine.addQuantileEvidence("miss_fraction", "TP", calm, 80.0);
+    engine.setQuantileValue("miss_fraction", "TP", calm);
+
+    MetricsRegistry registry;
+    engine.finalize(registry);
+
+    EXPECT_EQ(engine.outcomes()[0].status, AlertStatus::Fired);
+    EXPECT_NEAR(engine.outcomes()[0].value, 0.5, 0.5 * 0.011);
+    EXPECT_DOUBLE_EQ(engine.outcomes()[0].evidenceSimSeconds,
+                     160.0);
+    EXPECT_EQ(engine.outcomes()[1].status, AlertStatus::Ok);
+    // A quantile rule whose distribution was never fed is skipped,
+    // not fired — absence of data is not a breach.
+    EXPECT_EQ(engine.outcomes()[2].status, AlertStatus::Skipped);
+    EXPECT_EQ(engine.exitCode(), 3);
+}
+
+TEST(AlertEngine, ToJsonEmitsAlertsV1Block)
+{
+    MetricsRegistry registry;
+    registry.gauge("load").set(9.0);
+
+    AlertEngine engine(mustParse(R"({
+      "schema": "pcap-alert-rules-v1",
+      "rules": [
+        {"name": "hot", "severity": "critical",
+         "metric": {"name": "load"}, "op": ">", "value": 5},
+        {"name": "cold", "severity": "warn",
+         "metric": {"name": "load"}, "op": "<", "value": 5}
+      ]
+    })"));
+    engine.finalize(registry);
+
+    Json doc = engine.toJson();
+    EXPECT_EQ(doc.find("schema")->asString(), "pcap-alerts-v1");
+    const Json *rules = doc.find("rules");
+    ASSERT_NE(rules, nullptr);
+    ASSERT_EQ(rules->size(), 2u);
+
+    const Json &hot = rules->at(0);
+    EXPECT_EQ(hot.find("name")->asString(), "hot");
+    EXPECT_EQ(hot.find("severity")->asString(), "critical");
+    EXPECT_EQ(hot.find("kind")->asString(), "threshold");
+    EXPECT_EQ(hot.find("op")->asString(), ">");
+    EXPECT_DOUBLE_EQ(hot.find("threshold")->asDouble(), 5.0);
+    EXPECT_EQ(hot.find("status")->asString(), "fired");
+    EXPECT_DOUBLE_EQ(hot.find("value")->asDouble(), 9.0);
+
+    EXPECT_EQ(rules->at(1).find("status")->asString(), "ok");
+
+    const Json *fired = doc.find("fired");
+    ASSERT_NE(fired, nullptr);
+    ASSERT_EQ(fired->size(), 1u);
+    EXPECT_EQ(fired->at(0).find("rule")->asString(), "hot");
+    EXPECT_DOUBLE_EQ(doc.find("warn_fired")->asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(doc.find("critical_fired")->asDouble(), 1.0);
+    EXPECT_DOUBLE_EQ(doc.find("exit_code")->asDouble(), 4.0);
+}
+
+TEST(AlertEngine, SummaryListsEveryRule)
+{
+    MetricsRegistry registry;
+    registry.gauge("load").set(9.0);
+    AlertEngine engine(mustParse(R"({
+      "schema": "pcap-alert-rules-v1",
+      "rules": [
+        {"name": "hot", "severity": "critical",
+         "metric": {"name": "load"}, "op": ">", "value": 5}
+      ]
+    })"));
+    engine.finalize(registry);
+
+    std::ostringstream os;
+    engine.printSummary(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("hot"), std::string::npos);
+    EXPECT_NE(text.find("fired"), std::string::npos);
+    EXPECT_NE(text.find("critical"), std::string::npos);
+}
+
+} // namespace
+} // namespace pcap::obs

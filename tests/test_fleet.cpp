@@ -18,18 +18,25 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
+#include <unistd.h>
+#include <utility>
 #include <vector>
 
+#include "obs/alerts.hpp"
 #include "obs/metrics.hpp"
 #include "sim/cell_store.hpp"
 #include "sim/execution_source.hpp"
 #include "sim/experiment.hpp"
 #include "sim/fleet.hpp"
 #include "sim/trace_store.hpp"
+#include "util/json.hpp"
 #include "workload/host_profile.hpp"
 
 namespace pcap::sim {
@@ -529,6 +536,240 @@ TEST(CellStore, DistinctConfigsNeverCollide)
     b.globalRun("mozilla", policy);
     EXPECT_EQ(store->computed(), 2u);
     EXPECT_EQ(store->hits(), 0u);
+}
+
+// -- Drill-down + alert determinism ---------------------------------
+
+/** A scratch drill-down directory, removed on destruction. */
+struct TempDrillDir
+{
+    explicit TempDrillDir(const char *suffix)
+    {
+        path = (std::filesystem::temp_directory_path() /
+                ("pcap-test-drill-" + std::to_string(::getpid()) +
+                 "-" + suffix))
+                   .string();
+        std::filesystem::remove_all(path);
+    }
+    ~TempDrillDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+    std::string path;
+};
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+workload::FleetConfig
+drillFleetConfig()
+{
+    workload::FleetConfig fleet;
+    fleet.fleetSeed = 7;
+    fleet.hosts = 32;
+    fleet.executionsMin = 1;
+    fleet.executionsMax = 2;
+    fleet.minThinkScale = 0.5;
+    fleet.maxThinkScale = 2.0;
+    fleet.maxExecutionsPerApp = 0;
+    return fleet;
+}
+
+constexpr const char *kDrillExtensions[] = {
+    ".jsonl", ".prov.bin", ".prov.jsonl", ".timeline.json",
+    ".timeline.csv"};
+
+TEST(FleetDrilldown, ReRunMatchesPassOneAndStandaloneDrill)
+{
+    const workload::FleetConfig fleet = drillFleetConfig();
+    const std::vector<PolicyConfig> policies = {
+        PolicyConfig::timeoutPolicy(),
+        PolicyConfig::pcapFdHistory(),
+    };
+    ExperimentConfig config;
+    TempDrillDir fleetDir("pass2");
+    TempDrillDir standaloneDir("solo");
+
+    FleetOptions options;
+    options.jobs = 2;
+    options.keepHostResults = true;
+    // Low MAD cut so a 32-host fleet reliably flags outliers.
+    options.outlierMadThreshold = 0.5;
+    options.drilldownDir = fleetDir.path;
+
+    FleetDriver driver(fleet, config.sim, config.cache, options);
+    const FleetReport report = driver.run(policies);
+
+    ASSERT_FALSE(report.drilldowns.empty());
+    ASSERT_EQ(report.hostResults.size(), fleet.hosts);
+
+    for (const HostDrilldown &drill : report.drilldowns) {
+        ASSERT_LT(drill.host, report.hostResults.size());
+        const HostCellResult &cell = report.hostResults[drill.host];
+        EXPECT_EQ(cell.host, drill.host);
+
+        // Pass 2 re-simulated exactly what pass 1 measured.
+        EXPECT_EQ(drill.executions, cell.executions);
+        EXPECT_EQ(drill.accesses, cell.accesses);
+        EXPECT_EQ(drill.simSpanUs, cell.simSpanUs);
+        EXPECT_DOUBLE_EQ(drill.thinkTimeScale, cell.thinkTimeScale);
+
+        ASSERT_EQ(drill.policies.size(), policies.size());
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const DrilldownPolicy &drilled = drill.policies[p];
+            EXPECT_EQ(drilled.policy, policies[p].label);
+            EXPECT_EQ(drilled.shutdowns,
+                      cell.policyRuns[p].shutdowns);
+            EXPECT_EQ(drilled.spinUps,
+                      cell.policyRuns[p].spinUps);
+            EXPECT_EQ(drilled.tableEntries, cell.tableEntries[p]);
+        }
+
+        // At least one pass-1 outlier flag explains the selection.
+        EXPECT_FALSE(drill.reasons.empty());
+    }
+
+    // A standalone re-drill of the first flagged host produces a
+    // byte-identical artifact bundle: the drill-down is a pure
+    // function of (fleet config, host index, policies).
+    const HostDrilldown &first = report.drilldowns.front();
+    const HostDrilldown solo = driver.drillHost(
+        workload::hostProfile(fleet, first.host), policies,
+        standaloneDir.path);
+
+    EXPECT_EQ(solo.host, first.host);
+    ASSERT_EQ(solo.policies.size(), first.policies.size());
+    for (std::size_t p = 0; p < first.policies.size(); ++p) {
+        EXPECT_EQ(solo.policies[p].stem, first.policies[p].stem);
+        for (const char *ext : kDrillExtensions) {
+            const std::string name = first.policies[p].stem + ext;
+            EXPECT_EQ(
+                readFileBytes(fleetDir.path + "/" + name),
+                readFileBytes(standaloneDir.path + "/" + name))
+                << name;
+        }
+    }
+}
+
+TEST(FleetDrilldown, BundlesIdenticalAcrossThreadCounts)
+{
+    const workload::FleetConfig fleet = drillFleetConfig();
+    const std::vector<PolicyConfig> policies = {
+        PolicyConfig::timeoutPolicy(),
+        PolicyConfig::pcapFdHistory(),
+    };
+    ExperimentConfig config;
+    TempDrillDir serialDir("j1");
+    TempDrillDir parallelDir("j4");
+
+    FleetOptions serialOptions;
+    serialOptions.jobs = 1;
+    serialOptions.outlierMadThreshold = 0.5;
+    serialOptions.drilldownDir = serialDir.path;
+    FleetOptions parallelOptions = serialOptions;
+    parallelOptions.jobs = 4;
+    parallelOptions.drilldownDir = parallelDir.path;
+
+    const FleetReport serial =
+        FleetDriver(fleet, config.sim, config.cache, serialOptions)
+            .run(policies);
+    const FleetReport parallel =
+        FleetDriver(fleet, config.sim, config.cache,
+                    parallelOptions)
+            .run(policies);
+
+    ASSERT_FALSE(serial.drilldowns.empty());
+    ASSERT_EQ(serial.drilldowns.size(), parallel.drilldowns.size());
+    for (std::size_t i = 0; i < serial.drilldowns.size(); ++i) {
+        const HostDrilldown &a = serial.drilldowns[i];
+        const HostDrilldown &b = parallel.drilldowns[i];
+        EXPECT_EQ(a.host, b.host);
+        EXPECT_EQ(a.seed, b.seed);
+        EXPECT_DOUBLE_EQ(a.baseEnergyJ, b.baseEnergyJ);
+        ASSERT_EQ(a.reasons.size(), b.reasons.size());
+        for (std::size_t r = 0; r < a.reasons.size(); ++r) {
+            EXPECT_EQ(a.reasons[r].policy, b.reasons[r].policy);
+            EXPECT_EQ(a.reasons[r].metric, b.reasons[r].metric);
+            EXPECT_DOUBLE_EQ(a.reasons[r].score,
+                             b.reasons[r].score);
+        }
+        ASSERT_EQ(a.policies.size(), b.policies.size());
+        for (std::size_t p = 0; p < a.policies.size(); ++p) {
+            EXPECT_EQ(a.policies[p].stem, b.policies[p].stem);
+            EXPECT_DOUBLE_EQ(a.policies[p].energyJ,
+                             b.policies[p].energyJ);
+            for (const char *ext : kDrillExtensions) {
+                const std::string name = a.policies[p].stem + ext;
+                EXPECT_EQ(
+                    readFileBytes(serialDir.path + "/" + name),
+                    readFileBytes(parallelDir.path + "/" + name))
+                    << name;
+            }
+        }
+    }
+}
+
+TEST(FleetAlerts, VerdictsDeterministicAcrossThreadCounts)
+{
+    const char *rulesText = R"({
+      "schema": "pcap-alert-rules-v1",
+      "rules": [
+        {"name": "p50-miss-nonnegative", "severity": "warn",
+         "quantile": {"distribution": "miss_fraction", "q": 0.5,
+                      "policy": "PCAPfh"},
+         "op": ">=", "value": 0.0, "for_sim_seconds": 1},
+        {"name": "p90-saved", "severity": "warn",
+         "quantile": {"distribution": "saved_fraction", "q": 0.9},
+         "op": "<", "value": -1.0},
+        {"name": "outlier-hosts", "severity": "critical",
+         "metric": {"name": "pcap_fleet_outlier_hosts",
+                    "agg": "max"},
+         "op": ">", "value": 1000}
+      ]
+    })";
+    const workload::FleetConfig fleet = drillFleetConfig();
+    const std::vector<PolicyConfig> policies = {
+        PolicyConfig::timeoutPolicy(),
+        PolicyConfig::pcapFdHistory(),
+    };
+    ExperimentConfig config;
+
+    auto evaluate = [&](unsigned jobs) {
+        obs::AlertRulesLoad load =
+            obs::parseAlertRules(rulesText);
+        EXPECT_TRUE(load.ok()) << load.error;
+        obs::AlertEngine engine(std::move(load.rules));
+        obs::MetricsRegistry registry;
+
+        FleetOptions options;
+        options.jobs = jobs;
+        options.metrics = &registry;
+        options.alerts = &engine;
+        FleetDriver(fleet, config.sim, config.cache, options)
+            .run(policies);
+
+        engine.finalize(registry);
+        std::ostringstream dump;
+        engine.toJson().dump(dump);
+        return std::make_pair(engine.exitCode(), dump.str());
+    };
+
+    const auto serial = evaluate(1);
+    const auto parallel = evaluate(4);
+
+    // The breaching quantile rule settled with real evidence...
+    EXPECT_EQ(serial.first, 3);
+    // ...and the verdict block is bit-identical across thread
+    // counts: sketches feed the engine in shard order on one thread.
+    EXPECT_EQ(serial.second, parallel.second);
 }
 
 } // namespace

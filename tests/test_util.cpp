@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "obs/counter.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -296,6 +297,80 @@ TEST(Formatting, PercentAndFixedStrings)
     EXPECT_EQ(percentString(0.7634), "76.3%");
     EXPECT_EQ(percentString(0.7634, 2), "76.34%");
     EXPECT_EQ(fixedString(5.4321, 2), "5.43");
+}
+
+TEST(JsonParse, ReadsEveryValueKind)
+{
+    Json doc;
+    std::string error;
+    ASSERT_TRUE(Json::parse(
+        R"({"n": null, "t": true, "f": false, "pi": 3.25,
+            "neg": -17, "exp": 2.5e3,
+            "s": "a \"quoted\" A\n",
+            "list": [1, [2], {"k": "v"}],
+            "nested": {"inner": {}}})",
+        doc, &error))
+        << error;
+
+    EXPECT_TRUE(doc.find("n")->isNull());
+    EXPECT_TRUE(doc.find("t")->asBool());
+    EXPECT_FALSE(doc.find("f")->asBool(true));
+    EXPECT_DOUBLE_EQ(doc.find("pi")->asDouble(), 3.25);
+    EXPECT_DOUBLE_EQ(doc.find("neg")->asDouble(), -17.0);
+    EXPECT_DOUBLE_EQ(doc.find("exp")->asDouble(), 2500.0);
+    EXPECT_EQ(doc.find("s")->asString(), "a \"quoted\" A\n");
+
+    const Json *list = doc.find("list");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->size(), 3u);
+    EXPECT_DOUBLE_EQ(list->at(0).asDouble(), 1.0);
+    EXPECT_DOUBLE_EQ(list->at(1).at(0).asDouble(), 2.0);
+    EXPECT_EQ(list->at(2).find("k")->asString(), "v");
+
+    EXPECT_EQ(doc.find("missing"), nullptr);
+    EXPECT_TRUE(doc.find("nested")->find("inner")->isObject());
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    const char *bad[] = {
+        "",
+        "{",
+        "[1, 2",
+        R"({"a": 1,})",
+        R"({"a" 1})",
+        R"({"a": 1} trailing)",
+        "\"unterminated",
+        "nul",
+        "1..5",
+        R"({"bad escape": "\q"})",
+    };
+    for (const char *text : bad) {
+        Json doc;
+        std::string error;
+        EXPECT_FALSE(Json::parse(text, doc, &error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(JsonParse, RoundTripsThroughDump)
+{
+    Json doc;
+    ASSERT_TRUE(Json::parse(
+        R"({"b": [1, 2.5, "x"], "a": {"y": true}})", doc));
+
+    std::ostringstream first;
+    doc.dump(first);
+
+    Json reparsed;
+    std::string error;
+    ASSERT_TRUE(Json::parse(first.str(), reparsed, &error)) << error;
+    std::ostringstream second;
+    reparsed.dump(second);
+
+    // Key order is insertion order and survives the round trip, so
+    // the dumps are byte-identical.
+    EXPECT_EQ(first.str(), second.str());
 }
 
 } // namespace

@@ -133,6 +133,73 @@ def check_fleet(got, errors):
                 break
 
 
+def check_alerts(got, errors):
+    """Schema of the candidate's pcap-alerts-v1 block (--check-alerts).
+
+    The block must exist (the run was started with --alerts), every
+    rule must carry a settled verdict, and the summary counters and
+    exit code must be consistent with the per-rule statuses -- an
+    alert-evaluation regression must not pass as "no alerts".
+    """
+    checked_before = len(errors)
+    alerts = got.get("alerts")
+    if not isinstance(alerts, dict):
+        errors.append("candidate has no 'alerts' block "
+                      "(run with --alerts RULES.json)")
+        return
+    if alerts.get("schema") != "pcap-alerts-v1":
+        errors.append(f"alerts schema {alerts.get('schema')!r} "
+                      f"!= 'pcap-alerts-v1'")
+        return
+    rules = alerts.get("rules")
+    if not isinstance(rules, list) or not rules:
+        errors.append("alerts block has no rules")
+        return
+    statuses = {"ok", "skipped", "pending", "fired"}
+    severities = {"warn", "critical"}
+    fired = {"warn": 0, "critical": 0}
+    names = set()
+    for rule in rules:
+        name = rule.get("name", "<unnamed>")
+        if name in names:
+            errors.append(f"alerts: duplicate rule name {name!r}")
+        names.add(name)
+        for field in ("name", "severity", "kind", "op",
+                      "threshold", "status"):
+            if field not in rule:
+                errors.append(f"alerts rule {name}: missing "
+                              f"'{field}'")
+        if rule.get("status") not in statuses:
+            errors.append(f"alerts rule {name}: status "
+                          f"{rule.get('status')!r} not in "
+                          f"{sorted(statuses)}")
+            continue
+        if rule.get("severity") not in severities:
+            errors.append(f"alerts rule {name}: severity "
+                          f"{rule.get('severity')!r} not in "
+                          f"{sorted(severities)}")
+            continue
+        if rule["status"] == "fired":
+            fired[rule["severity"]] += 1
+        if rule["status"] in ("ok", "fired") and "value" not in rule:
+            errors.append(f"alerts rule {name}: settled without an "
+                          f"observed value")
+    for severity, key in (("warn", "warn_fired"),
+                          ("critical", "critical_fired")):
+        if alerts.get(key) != fired[severity]:
+            errors.append(f"alerts: {key} {alerts.get(key)!r} != "
+                          f"{fired[severity]} fired rules")
+    expected_exit = (4 if fired["critical"] else
+                     3 if fired["warn"] else 0)
+    if alerts.get("exit_code") != expected_exit:
+        errors.append(f"alerts: exit_code {alerts.get('exit_code')!r}"
+                      f" != {expected_exit}")
+    if len(errors) == checked_before:
+        print(f"alerts ok: {len(rules)} rules "
+              f"({fired['warn']} warn, {fired['critical']} "
+              f"critical fired)")
+
+
 def check_timeline_doc(path, doc, errors):
     """Invariants of one pcap-timeline-v1 document."""
     name = os.path.basename(path)
@@ -279,6 +346,9 @@ def main():
     parser.add_argument("--timeline-dir", metavar="DIR",
                         help="schema-check the candidate run's "
                              "*.timeline.json dumps in DIR")
+    parser.add_argument("--check-alerts", action="store_true",
+                        help="require and schema-check the "
+                             "candidate's pcap-alerts-v1 block")
     args = parser.parse_args()
     if (args.max_any_report_seconds is not None
             and args.max_any_report_seconds <= 0):
@@ -299,6 +369,8 @@ def main():
     if not args.allow_missing_metrics:
         check_metrics(got, errors)
     check_fleet(got, errors)
+    if args.check_alerts:
+        check_alerts(got, errors)
     if args.timeline_dir:
         check_timeline(args.timeline_dir, errors)
     check_budgets(got, args.max_report_seconds,

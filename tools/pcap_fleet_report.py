@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Render a fleet drill-down bundle as a self-contained HTML report.
+
+Usage: pcap_fleet_report.py DRILLDOWN_DIR [options]
+
+Reads the drilldown.json index a `bench_all --report fleet
+--drilldown-dir DIR` run wrote, plus the per-host timeline dumps
+next to it, and renders one "fleet observatory" page: every drilled
+outlier host gets a section with the pass-1 flags that selected it
+(metric, value, fleet median, MAD score), its per-policy re-run
+summary, and the instrumented timelines of the deterministic
+re-simulation. With --fleet-json pointing at the run's
+BENCH_RESULTS.json, the fleet-health percentile table and the
+pcap-alerts-v1 verdicts are prepended.
+
+SVG rendering is shared with pcap_timeline.py (imported as a
+module); stdlib only, no external references in the output.
+
+Exit status: 0 on success, 2 on bad input (missing index, unreadable
+JSON, wrong schema).
+"""
+
+import argparse
+import html
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import pcap_timeline  # noqa: E402  (sibling module, same dir)
+
+INDEX_SCHEMA = "pcap-drilldown-v1"
+
+EXTRA_CSS = """
+.host { border: 1px solid #ccc; border-radius: 6px;
+        padding: 0.8em 1em; margin-bottom: 1.5em; }
+.host h3 { margin: 0 0 0.2em 0; font-size: 1.0em; }
+.host .meta { color: #777; font-size: 0.8em;
+              margin-bottom: 0.6em; }
+.reason { background: #fcf3f2; }
+.status-fired { color: #c0392b; font-weight: 600; }
+.status-ok { color: #2d7a46; }
+.status-pending { color: #b07d1a; }
+.status-skipped { color: #999; }
+"""
+
+
+def fail(message):
+    print(f"pcap_fleet_report.py: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_index(drill_dir):
+    root = pathlib.Path(drill_dir)
+    path = root / "drilldown.json"
+    if not path.is_file():
+        fail(f"no drilldown.json in {drill_dir} (run bench_all "
+             f"--report fleet --drilldown-dir {drill_dir})")
+    try:
+        index = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+    if index.get("schema") != INDEX_SCHEMA:
+        fail(f"{path}: schema {index.get('schema')!r}, "
+             f"want {INDEX_SCHEMA!r}")
+    return index
+
+
+def load_timeline(drill_dir, stem):
+    path = pathlib.Path(drill_dir) / f"{stem}.timeline.json"
+    if not path.is_file():
+        return None
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+    if doc.get("schema") != pcap_timeline.SCHEMA:
+        fail(f"{path}: schema {doc.get('schema')!r}, "
+             f"want {pcap_timeline.SCHEMA!r}")
+    return doc
+
+
+def alerts_html(results):
+    alerts = results.get("alerts")
+    if not alerts:
+        return ""
+    parts = ["<h2>Alert verdicts</h2>",
+             "<table><tr><th>rule</th><th>severity</th>"
+             "<th>kind</th><th>condition</th><th>value</th>"
+             "<th>evidence (sim s)</th><th>status</th></tr>"]
+    for rule in alerts.get("rules", []):
+        status = rule.get("status", "?")
+        value = rule.get("value")
+        parts.append(
+            f'<tr><td>{html.escape(rule.get("name", "?"))}</td>'
+            f'<td>{html.escape(rule.get("severity", "?"))}</td>'
+            f'<td>{html.escape(rule.get("kind", "?"))}</td>'
+            f'<td>{html.escape(rule.get("op", "?"))} '
+            f'{rule.get("threshold", "?")}</td>'
+            f'<td>{"-" if value is None else f"{value:.6g}"}</td>'
+            f'<td>{rule.get("evidence_sim_seconds", 0):.0f}</td>'
+            f'<td class="status-{html.escape(status)}">'
+            f'{html.escape(status)}</td></tr>')
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def reasons_html(reasons):
+    parts = ["<table class='reason'><tr><th>policy</th>"
+             "<th>metric</th><th>value</th><th>fleet median</th>"
+             "<th>score (MADs)</th></tr>"]
+    for reason in reasons:
+        parts.append(
+            f'<tr><td>{html.escape(reason["policy"])}</td>'
+            f'<td>{html.escape(reason["metric"])}</td>'
+            f'<td>{reason["value"]:.1%}</td>'
+            f'<td>{reason["median"]:.1%}</td>'
+            f'<td>{reason["score"]:.1f}</td></tr>')
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def policies_html(entry):
+    base = entry.get("base_energy_j", 0.0)
+    parts = ["<table><tr><th>policy</th><th>energy (J)</th>"
+             "<th>saved</th><th>hit</th><th>miss</th>"
+             "<th>shutdowns</th><th>spin-ups</th>"
+             "<th>table entries</th></tr>",
+             f'<tr><td>base</td><td>{base:.1f}</td><td>-</td>'
+             f'<td>-</td><td>-</td><td>-</td><td>-</td>'
+             f'<td>-</td></tr>']
+    for policy in entry.get("policies", []):
+        parts.append(
+            f'<tr><td>{html.escape(policy["policy"])}</td>'
+            f'<td>{policy["energy_j"]:.1f}</td>'
+            f'<td>{policy["saved_fraction"]:.1%}</td>'
+            f'<td>{policy["hit_fraction"]:.1%}</td>'
+            f'<td>{policy["miss_fraction"]:.1%}</td>'
+            f'<td>{policy["shutdowns"]}</td>'
+            f'<td>{policy["spin_ups"]}</td>'
+            f'<td>{policy["table_entries"]}</td></tr>')
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def host_html(drill_dir, entry):
+    host = entry["host"]
+    span = pcap_timeline.fmt_span(entry.get("sim_span_us", 0))
+    parts = [f'<div class="host"><h3>host {host}</h3>',
+             f'<div class="meta">seed {entry.get("seed", "?")} '
+             f'&middot; think-time scale '
+             f'{entry.get("think_time_scale", 1.0):.2f} &middot; '
+             f'{entry.get("executions", 0)} executions &middot; '
+             f'{entry.get("accesses", 0)} disk accesses &middot; '
+             f'span {span}</div>',
+             "<h4>Why it was flagged</h4>",
+             reasons_html(entry.get("reasons", [])),
+             "<h4>Deterministic re-run</h4>",
+             policies_html(entry)]
+    timelines = []
+    for policy in entry.get("policies", []):
+        doc = load_timeline(drill_dir, policy["stem"])
+        if doc is not None:
+            timelines.append(pcap_timeline.cell_html(doc))
+    if timelines:
+        parts.append("<h4>Instrumented timelines</h4>")
+        parts.extend(timelines)
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("drilldown_dir",
+                        help="directory bench_all --drilldown-dir "
+                             "wrote (contains drilldown.json)")
+    parser.add_argument("-o", "--out", default="fleet_report.html",
+                        help="output HTML path "
+                             "(default: fleet_report.html)")
+    parser.add_argument("--fleet-json",
+                        help="BENCH_RESULTS.json of the fleet run, "
+                             "for the health + alerts sections "
+                             "(optional)")
+    args = parser.parse_args()
+
+    index = load_index(args.drilldown_dir)
+    hosts = index.get("hosts", [])
+
+    body = [f"<h1>pcap fleet observatory &mdash; "
+            f"{len(hosts)} drilled hosts</h1>",
+            f"<p>fleet seed {index.get('fleet_seed', '?')}. Every "
+            f"host below was flagged by the k&middot;MAD outlier "
+            f"test in pass 1 and re-simulated bit-identically with "
+            f"full instrumentation in pass 2.</p>"]
+    if args.fleet_json:
+        try:
+            results = json.loads(
+                pathlib.Path(args.fleet_json).read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            fail(f"{args.fleet_json}: {err}")
+        body.append(alerts_html(results))
+        body.append(pcap_timeline.fleet_html(args.fleet_json))
+    if hosts:
+        body.append("<h2>Drilled hosts</h2>")
+        body.append(pcap_timeline.legend_html())
+        body.extend(host_html(args.drilldown_dir, entry)
+                    for entry in hosts)
+    else:
+        body.append("<p>No hosts were flagged — the fleet is "
+                    "healthy at the configured MAD threshold.</p>")
+
+    page = ("<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            "<title>pcap fleet observatory</title>"
+            f"<style>{pcap_timeline.CSS}{EXTRA_CSS}</style>"
+            f"</head><body>{''.join(body)}</body></html>")
+    pathlib.Path(args.out).write_text(page)
+    print(f"wrote {args.out}: {len(hosts)} drilled hosts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

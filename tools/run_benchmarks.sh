@@ -2,7 +2,7 @@
 # Build Release, run the test suite, run bench_all, and check the
 # results against the committed reference.
 #
-# Three gates, in order:
+# Gates, in order:
 #   1. every report byte-identical to bench/reference (compare_bench)
 #   2. two warm runs produce identical deterministic metrics
 #      (metrics_diff, zero regressions allowed)
@@ -12,16 +12,26 @@
 #   4. the second warm run records per-cell timelines and a span
 #      profile; the timeline dumps are schema-gated and rendered to
 #      HTML, proving the instrumentation does not perturb reports
-#   5. a timestamped BENCH_PR8.json (+ .prom + manifest) lands at the
-#      repo root as the artifact of record for this revision.
+#   5. the warm run re-evaluates bench/alerts/default_rules.json; a
+#      fired warn rule is tolerated (exit 3), critical (4) fails
+#   6. the fleet smoke drills its outlier hosts at two thread counts
+#      and the drill-down bundles must be byte-identical
+#   7. a timestamped BENCH_<tag>.json (+ .prom + manifest) lands at
+#      the repo root as the artifact of record for this revision.
 #
-# Usage: tools/run_benchmarks.sh [jobs]
+# Usage: tools/run_benchmarks.sh [jobs] [tag]
 #   jobs  worker threads for bench_all (default: hardware)
+#   tag   artifact basename suffix: BENCH_<tag>.json; defaults to
+#         $PCAP_BENCH_TAG, then the git short hash, then "local"
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build="$root/build"
 jobs="${1:-0}"
+tag="${2:-${PCAP_BENCH_TAG:-}}"
+if [ -z "$tag" ]; then
+    tag=$(git -C "$root" rev-parse --short HEAD 2>/dev/null || echo local)
+fi
 
 echo "== configure + build (Release) =="
 cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release
@@ -86,20 +96,48 @@ python3 "$root/tools/pcap_timeline.py" "$scratch/timeline" \
     -o "$scratch/timeline/timeline.html"
 
 echo
-echo "== fleet smoke (128 hosts, two thread counts) =="
+echo "== alert rules (bench/alerts/default_rules.json) =="
+alert_status=0
+"$build/bench/bench_all" --jobs "$jobs" \
+    --cache-dir "$scratch/cache" \
+    --json "$scratch/alerts.json" \
+    --alerts "$root/bench/alerts/default_rules.json" > /dev/null \
+    || alert_status=$?
+case "$alert_status" in
+    0) echo "alerts: clean" ;;
+    3) echo "alerts: warn rule(s) fired (tolerated)" ;;
+    *) echo "alerts: failed with exit $alert_status" >&2
+       exit "$alert_status" ;;
+esac
+python3 "$root/tools/compare_bench.py" \
+    "$root/bench/reference/BENCH_RESULTS.ref.json" \
+    "$scratch/alerts.json" \
+    --check-alerts \
+    --max-report-seconds ablation_cache=20 \
+    --max-any-report-seconds 60
+
+echo
+echo "== fleet smoke (128 hosts, two thread counts, drill-down) =="
 "$build/bench/bench_all" --report fleet --hosts 128 --jobs 1 \
     --cache-dir "$scratch/cache" \
-    --json "$scratch/fleet-a.json" > /dev/null
+    --json "$scratch/fleet-a.json" \
+    --drilldown-dir "$scratch/drill-a" > /dev/null
 "$build/bench/bench_all" --report fleet --hosts 128 --jobs 4 \
     --cache-dir "$scratch/cache" \
-    --json "$scratch/fleet-b.json" > /dev/null
+    --json "$scratch/fleet-b.json" \
+    --drilldown-dir "$scratch/drill-b" > /dev/null
 python3 "$root/tools/compare_bench.py" \
     "$scratch/fleet-a.json" "$scratch/fleet-b.json" \
     --max-any-report-seconds 300
+diff -r "$scratch/drill-a" "$scratch/drill-b"
+echo "drill-down bundles byte-identical across thread counts"
+python3 "$root/tools/pcap_fleet_report.py" "$scratch/drill-a" \
+    --fleet-json "$scratch/fleet-a.json" \
+    -o "$scratch/drill-a/fleet_report.html"
 
 echo
-echo "== publish BENCH_PR8.json =="
-cp "$scratch/warm.json" "$root/BENCH_PR8.json"
-cp "$scratch/warm.prom" "$root/BENCH_PR8.prom"
-cp "$scratch/warm.manifest.json" "$root/BENCH_PR8.manifest.json"
-echo "wrote $root/BENCH_PR8.json (+ .prom, .manifest.json)"
+echo "== publish BENCH_$tag.json =="
+cp "$scratch/warm.json" "$root/BENCH_$tag.json"
+cp "$scratch/warm.prom" "$root/BENCH_$tag.prom"
+cp "$scratch/warm.manifest.json" "$root/BENCH_$tag.manifest.json"
+echo "wrote $root/BENCH_$tag.json (+ .prom, .manifest.json)"
