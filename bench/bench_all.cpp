@@ -29,6 +29,7 @@
 #include "obs/export.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/tracing.hpp"
 #include "reports.hpp"
 #include "sim/cell_store.hpp"
@@ -102,6 +103,23 @@ usage(std::ostream &os)
           "to PATH\n"
           "                    (load in Perfetto / "
           "chrome://tracing)\n"
+          "      --perf        profile the run with hardware "
+          "counters\n"
+          "                    (perf_event_open: cycles, "
+          "instructions,\n"
+          "                    cache/branch misses); emits a "
+          "pcap-perf-v1\n"
+          "                    block, pcap_perf_* metrics, and "
+          "per-span IPC\n"
+          "                    when combined with --trace-profile. "
+          "Falls\n"
+          "                    back to a software backend (thread "
+          "CPU time,\n"
+          "                    marked backend=\"software\") where "
+          "perf is\n"
+          "                    unavailable; PCAP_PERF_BACKEND="
+          "software\n"
+          "                    forces the fallback\n"
           "      --metrics-out P  Prometheus text metrics file "
           "(default:\n"
           "                    <json>.prom; '-' disables)\n"
@@ -191,6 +209,7 @@ main(int argc, char **argv)
     bool fleet_hosts_given = false;
     std::string alerts_path;
     std::string drilldown_dir;
+    bool use_perf = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -307,6 +326,8 @@ main(int argc, char **argv)
             alerts_path = value("--alerts");
         } else if (arg == "--drilldown-dir") {
             drilldown_dir = value("--drilldown-dir");
+        } else if (arg == "--perf") {
+            use_perf = true;
         } else {
             error("unknown option: " + arg);
             usage(std::cerr);
@@ -350,6 +371,17 @@ main(int argc, char **argv)
         trace_recorder = new obs::TraceRecorder();
         obs::setTraceRecorder(trace_recorder);
         obs::installThreadPoolTraceHook();
+    }
+
+    // Same lifetime discipline for the counter profiler: per-thread
+    // groups may still be touched by winding-down pool threads.
+    obs::PerfProfiler *perf_profiler = nullptr;
+    if (use_perf) {
+        perf_profiler = new obs::PerfProfiler();
+        obs::setPerfProfiler(perf_profiler);
+        inform(std::string("perf: ") +
+               obs::perfBackendName(perf_profiler->backend()) +
+               " backend (" + perf_profiler->backendDetail() + ")");
     }
 
     sim::ParallelOptions options;
@@ -431,6 +463,7 @@ main(int argc, char **argv)
     const Clock::time_point inputs_start = Clock::now();
     if (!cells.empty()) {
         obs::Span span("inputs");
+        obs::PerfRegion perf("phase:inputs");
         eval.prefetchInputs();
     }
     const double inputs_ms = msSince(inputs_start);
@@ -438,6 +471,7 @@ main(int argc, char **argv)
     const Clock::time_point cells_start = Clock::now();
     {
         obs::Span span("simulation");
+        obs::PerfRegion perf("phase:simulation");
         eval.prefetch(cells);
     }
     const double cells_ms = msSince(cells_start);
@@ -451,6 +485,8 @@ main(int argc, char **argv)
         std::ostringstream text;
         {
             obs::Span span("report", report->name);
+            obs::PerfRegion perf("report:" +
+                                 std::string(report->name));
             report->run(ctx, text);
         }
         const double ms = msSince(start);
@@ -503,6 +539,8 @@ main(int argc, char **argv)
                      {{"op", "store"}})
             .inc(eval.workloadCache().stores());
         recordBenchMetrics(registry, inputs_ms, cells_ms, total_ms);
+        if (perf_profiler)
+            obs::recordPerfMetrics(*perf_profiler, registry);
         if (trace_recorder) {
             registry.counter("pcap_trace_profile_events_total")
                 .inc(trace_recorder->totalEvents());
@@ -534,6 +572,14 @@ main(int argc, char **argv)
         std::cout << ")\n";
     }
 
+    if (perf_profiler) {
+        std::cout << "perf: "
+                  << obs::perfBackendName(perf_profiler->backend())
+                  << " backend, "
+                  << perf_profiler->regions().size()
+                  << " regions\n";
+    }
+
     if (json_path != "-") {
         Json root = Json::object();
         root["schema"] = "pcap-bench-results-v1";
@@ -558,6 +604,8 @@ main(int argc, char **argv)
             root["fleet"] = std::move(fleet_json);
         if (alert_engine)
             root["alerts"] = alert_engine->toJson();
+        if (perf_profiler)
+            root["perf"] = obs::perfToJson(*perf_profiler);
         if (use_metrics)
             root["metrics"] = obs::metricsToJson(registry);
 
@@ -614,6 +662,23 @@ main(int argc, char **argv)
         manifest.resultsPath = json_path == "-" ? "" : json_path;
         manifest.prometheusPath =
             (use_metrics && metrics_path != "-") ? metrics_path : "";
+        manifest.build = obs::collectBuildInfo();
+        manifest.perfRequested = use_perf;
+        if (perf_profiler) {
+            manifest.perfBackend =
+                obs::perfBackendName(perf_profiler->backend());
+            manifest.perfDetail = perf_profiler->backendDetail();
+        } else {
+            // Record the capability even when --perf is off: the
+            // probe is one open+close, and knowing whether counters
+            // *would* have been available attributes a missing perf
+            // block to choice rather than environment.
+            const obs::PerfCapability cap =
+                obs::PerfCounterGroup::probe();
+            manifest.perfBackend = cap.hardware ? "hardware"
+                                                : "software";
+            manifest.perfDetail = cap.detail;
+        }
 
         const std::string problem =
             obs::writeManifest(manifest, manifest_path);

@@ -8,6 +8,7 @@
 #include <optional>
 #include <sstream>
 
+#include "obs/perf.hpp"
 #include "obs/provenance.hpp"
 #include "power/disk_params.hpp"
 #include "sim/drivers.hpp"
@@ -1196,6 +1197,11 @@ drilldownJson(const sim::FleetReport &report, std::uint64_t seed)
             item["shutdowns"] = policy.shutdowns;
             item["spin_ups"] = policy.spinUps;
             item["table_entries"] = policy.tableEntries;
+            // Counter deltas ride along only under --perf: without
+            // it the bundle stays byte-identical across runs and
+            // thread counts (the CI `diff -r` gate).
+            if (policy.hasPerf)
+                item["perf"] = obs::perfCountsJson(policy.perf);
             Json &artifacts = item["artifacts"];
             artifacts = Json::object();
             artifacts["trace"] = policy.stem + ".jsonl";
@@ -1256,7 +1262,10 @@ reportFleet(ReportContext &ctx, std::ostream &os)
     options.drilldownDir = ctx.fleet.drilldownDir;
     sim::FleetDriver driver(fleet, config.sim, config.cache,
                             options);
-    const sim::FleetReport report = driver.run(policies);
+    const sim::FleetReport report = [&] {
+        obs::PerfRegion perf("fleet:simulate");
+        return driver.run(policies);
+    }();
 
     os << "hosts:              " << report.hosts << "\n"
        << "executions:         " << report.executions << "\n"

@@ -24,6 +24,24 @@ namespace pcap::obs {
 /** Schema tag of the manifest document. */
 inline constexpr char kManifestSchema[] = "pcap-run-manifest-v1";
 
+/**
+ * The build configuration behind a run's numbers. A perf figure is
+ * meaningless without it: an AddressSanitizer Debug build runs the
+ * replay kernel an order of magnitude slower than the Release build
+ * the budgets are sized for.
+ */
+struct BuildInfo
+{
+    std::string compiler;        ///< "clang" / "gcc" / "unknown"
+    std::string compilerVersion; ///< e.g. "17.0.6"
+    std::string buildType;       ///< CMAKE_BUILD_TYPE, may be ""
+    std::string cxxStandard;     ///< e.g. "c++20"
+    std::vector<std::string> sanitizers; ///< e.g. {"address"}
+};
+
+/** The build configuration compiled into this binary. */
+BuildInfo collectBuildInfo();
+
 /** Everything a bench run records about itself. */
 struct RunManifest
 {
@@ -54,6 +72,16 @@ struct RunManifest
 
     std::string resultsPath;    ///< BENCH_RESULTS.json ("" if none)
     std::string prometheusPath; ///< --metrics-out ("" if none)
+
+    /** Compiler / build-type / sanitizer record, see BuildInfo. */
+    BuildInfo build;
+
+    /** Hardware-counter capability: which perf backend the run used
+     * (or would use — the probe is recorded even without --perf),
+     * and why. Empty backend = probe not performed. */
+    std::string perfBackend; ///< "hardware" / "software" / ""
+    std::string perfDetail;  ///< "ok" or the probe failure reason
+    bool perfRequested = false; ///< --perf was on for this run
 
     /** The manifest as a JSON document (schema included). */
     Json toJson() const;

@@ -113,7 +113,8 @@ TraceRecorder::threadBuffer()
 
 void
 TraceRecorder::append(const char *name, std::string_view detail,
-                      std::uint64_t startNs, std::uint64_t durNs)
+                      std::uint64_t startNs, std::uint64_t durNs,
+                      const PerfCounts *perf)
 {
     ThreadBuffer &buffer = threadBuffer();
     const std::uint64_t used =
@@ -127,6 +128,10 @@ TraceRecorder::append(const char *name, std::string_view detail,
     event.durNs = durNs;
     event.name = name;
     copyDetail(event.detail, detail);
+    if (perf) {
+        event.perf = *perf;
+        event.hasPerf = true;
+    }
     // Publish after the payload so a post-join reader never sees a
     // half-written event.
     buffer.size.store(used + 1, std::memory_order_release);
@@ -202,9 +207,37 @@ TraceRecorder::writeChromeTrace(const std::string &path) const
             os << ", \"dur\": ";
             writeMicros(os, event.durNs);
             os << ", \"pid\": 1, \"tid\": " << tid;
-            if (event.detail[0] != '\0') {
-                os << ", \"args\": {\"detail\": ";
-                writeEscaped(os, event.detail.data());
+            if (event.detail[0] != '\0' || event.hasPerf) {
+                os << ", \"args\": {";
+                bool firstArg = true;
+                if (event.detail[0] != '\0') {
+                    os << "\"detail\": ";
+                    writeEscaped(os, event.detail.data());
+                    firstArg = false;
+                }
+                if (event.hasPerf) {
+                    const PerfCounts &perf = event.perf;
+                    char num[64];
+                    const auto arg =
+                        [&](const char *key,
+                            unsigned long long value) {
+                            os << (firstArg ? "" : ", ") << '"'
+                               << key << "\": " << value;
+                            firstArg = false;
+                        };
+                    arg("cycles", perf.cycles);
+                    arg("instructions", perf.instructions);
+                    arg("cache_misses", perf.cacheMisses);
+                    arg("branch_misses", perf.branchMisses);
+                    std::snprintf(num, sizeof num, "%.4f",
+                                  perf.ipc());
+                    os << ", \"ipc\": " << num;
+                    std::snprintf(
+                        num, sizeof num, "%.3f",
+                        static_cast<double>(perf.taskClockNs) /
+                            1000.0);
+                    os << ", \"task_clock_us\": " << num;
+                }
                 os << "}";
             }
             os << "}";
@@ -240,6 +273,13 @@ Span::Span(const char *name, std::string_view detail)
     if (!recorder_)
         return;
     copyDetail(detail_, detail);
+    // Counter attribution rides the same opt-in: spans pick up
+    // hardware deltas only when both --trace-profile and --perf
+    // installed their process-global sinks.
+    if (PerfProfiler *profiler = perfProfiler()) {
+        perfStart_ = profiler->snapshot();
+        perfArmed_ = true;
+    }
     startNs_ = recorder_->nowNs();
 }
 
@@ -248,8 +288,17 @@ Span::~Span()
     if (!recorder_)
         return;
     const std::uint64_t end = recorder_->nowNs();
+    PerfCounts delta;
+    bool hasDelta = false;
+    if (perfArmed_) {
+        if (PerfProfiler *profiler = perfProfiler()) {
+            delta = profiler->snapshot().since(perfStart_);
+            hasDelta = true;
+        }
+    }
     recorder_->append(name_, detail_.data(), startNs_,
-                      end - startNs_);
+                      end - startNs_,
+                      hasDelta ? &delta : nullptr);
 }
 
 void

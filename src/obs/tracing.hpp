@@ -29,6 +29,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/perf.hpp"
+
 namespace pcap::obs {
 
 /** Inline payload bytes per span (truncating, NUL-terminated). */
@@ -41,6 +43,12 @@ struct TraceEvent
     std::uint64_t durNs = 0;
     const char *name = nullptr; ///< string literal (category label)
     std::array<char, kSpanDetailBytes> detail{}; ///< arg, may be ""
+
+    /** Counter delta over the span, when a PerfProfiler was
+     * installed alongside the recorder (--trace-profile --perf);
+     * rendered as ipc/cycles/miss args on the trace event. */
+    PerfCounts perf;
+    bool hasPerf = false;
 };
 
 /**
@@ -57,9 +65,11 @@ class TraceRecorder
     /** @p capacity spans per thread; overflow counts as dropped. */
     explicit TraceRecorder(std::size_t capacity = 1 << 16);
 
-    /** Record one completed span from the calling thread. */
+    /** Record one completed span from the calling thread;
+     * @p perf (optional) is the counter delta over the span. */
     void append(const char *name, std::string_view detail,
-                std::uint64_t startNs, std::uint64_t durNs);
+                std::uint64_t startNs, std::uint64_t durNs,
+                const PerfCounts *perf = nullptr);
 
     /** Nanoseconds since this recorder was constructed. */
     std::uint64_t nowNs() const;
@@ -132,6 +142,10 @@ class Span
     std::uint64_t startNs_ = 0;
     const char *name_;
     std::array<char, kSpanDetailBytes> detail_{};
+    /** Counter snapshot at construction; only taken when a
+     * PerfProfiler is installed alongside the recorder. */
+    PerfCounts perfStart_;
+    bool perfArmed_ = false;
 };
 
 /**

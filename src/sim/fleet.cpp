@@ -365,6 +365,7 @@ FleetDriver::drillHost(const workload::HostProfile &profile,
 {
     obs::Span span("fleet-drilldown",
                    "host " + std::to_string(profile.host));
+    obs::PerfRegion perfRegion("fleet:drilldown");
     std::filesystem::create_directories(dir);
 
     HostDrilldown drill;
@@ -424,6 +425,11 @@ FleetDriver::drillHost(const workload::HostProfile &profile,
     SimulationKernel baseKernel(sim_); // uninstrumented baseline
 
     std::vector<RunResult> runs(policies.size());
+    // Per-policy counter deltas over the drilled replay: which
+    // policy's simulation is cycle-hungry, and how its IPC compares
+    // across policies on the same host workload. Zero-cost when no
+    // profiler is installed.
+    std::vector<obs::PerfCounts> perfTotals(policies.size());
     RunResult baseRun;
     HostExecutionSource source(profile, cacheParams_);
     while (const ExecutionInput *input = source.next()) {
@@ -431,9 +437,11 @@ FleetDriver::drillHost(const workload::HostProfile &profile,
         drill.accesses += input->accesses.size();
         drill.simSpanUs +=
             static_cast<std::uint64_t>(input->endTime);
-        for (std::size_t p = 0; p < policies.size(); ++p)
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            obs::PerfRegion perf(&perfTotals[p]);
             runs[p].merge(
                 cells[p].kernel.runExecution(*input, cells[p].driver));
+        }
         baseRun.merge(baseKernel.runExecution(*input, base));
     }
     drill.baseEnergyJ = baseRun.energy.total();
@@ -464,6 +472,10 @@ FleetDriver::drillHost(const workload::HostProfile &profile,
         summary.shutdowns = runs[p].shutdowns;
         summary.spinUps = runs[p].spinUps;
         summary.tableEntries = cell.session.tableEntries();
+        if (obs::perfEnabled()) {
+            summary.perf = perfTotals[p];
+            summary.hasPerf = true;
+        }
         drill.policies.push_back(std::move(summary));
     }
     return drill;
@@ -492,6 +504,7 @@ FleetDriver::run(const std::vector<PolicyConfig> &policies) const
         obs::Span span("fleet-shard",
                        "hosts " + std::to_string(first) + "-" +
                            std::to_string(last - 1));
+        obs::PerfRegion perf("fleet:shard");
         for (std::size_t i = first; i < last; ++i) {
             HostCellResult cell = runHost(
                 workload::hostProfile(

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/sketch.hpp"
 #include "sim/kernel.hpp"
 #include "sim/policy.hpp"
@@ -168,6 +169,12 @@ struct DrilldownPolicy
     std::uint64_t shutdowns = 0;
     std::uint64_t spinUps = 0;
     std::size_t tableEntries = 0;
+
+    /** Hardware-counter delta over this policy's drilled replay;
+     * only populated (hasPerf) when a PerfProfiler was installed
+     * for the run, so default drill-downs stay byte-identical. */
+    obs::PerfCounts perf;
+    bool hasPerf = false;
 };
 
 /**

@@ -33,6 +33,17 @@ count, per-bucket state residency bounded by the bucket width, and
 non-negative counts and energies (so cumulative energy is
 non-decreasing over simulated time). An empty directory is an
 error -- a timeline-instrumentation regression must not pass.
+
+--check-perf requires and schema-checks the candidate's pcap-perf-v1
+block (bench_all --perf): a known backend, non-empty regions with
+the full counter field set, hardware backends showing real cycle and
+instruction counts, software backends showing all-zero hardware
+counters (the honest-fallback contract). Derived statistics -- IPC,
+cache/branch miss rates, and cycles per simulated idle period when
+the metrics block carries pcap_sim_idle_periods_total -- are printed,
+and bounded only by warn-level budgets (--perf-min-ipc,
+--perf-max-miss-rate): counter values are machine-dependent, so they
+advise rather than gate.
 """
 
 import argparse
@@ -42,7 +53,8 @@ import os
 import re
 import sys
 
-IGNORED_TOP_KEYS = {"jobs", "timings_ms", "workload_cache", "metrics"}
+IGNORED_TOP_KEYS = {"jobs", "timings_ms", "workload_cache", "metrics",
+                    "perf"}
 NUMBER = re.compile(r"^[+-]?\d+(\.\d+)?([eE][+-]?\d+)?%?$")
 
 
@@ -200,6 +212,112 @@ def check_alerts(got, errors):
               f"critical fired)")
 
 
+PERF_COUNT_FIELDS = ("cycles", "instructions", "cache_references",
+                     "cache_misses", "branch_misses",
+                     "task_clock_ns", "time_enabled_ns",
+                     "time_running_ns")
+PERF_DERIVED_FIELDS = ("ipc", "cache_miss_rate", "branch_miss_rate")
+
+
+def total_idle_periods(got):
+    """Sum of pcap_sim_idle_periods_total across the metrics block,
+    or None when the series (or the block) is absent."""
+    metrics = got.get("metrics")
+    if not isinstance(metrics, dict):
+        return None
+    total = None
+    for series in metrics.get("series", []):
+        if series.get("name") == "pcap_sim_idle_periods_total":
+            total = (total or 0) + series.get("value", 0)
+    return total
+
+
+def check_perf(got, min_ipc, max_miss_rate, errors):
+    """Schema of the candidate's pcap-perf-v1 block (--check-perf).
+
+    Counter *presence and shape* gate hard; counter *values* are
+    machine-dependent and only drive warn-level advisories.
+    """
+    checked_before = len(errors)
+    perf = got.get("perf")
+    if not isinstance(perf, dict):
+        errors.append("candidate has no 'perf' block "
+                      "(run with --perf)")
+        return
+    if perf.get("schema") != "pcap-perf-v1":
+        errors.append(f"perf schema {perf.get('schema')!r} "
+                      f"!= 'pcap-perf-v1'")
+        return
+    backend = perf.get("backend")
+    if backend not in ("hardware", "software"):
+        errors.append(f"perf backend {backend!r} not in "
+                      f"('hardware', 'software')")
+        return
+    regions = perf.get("regions")
+    if not isinstance(regions, list) or not regions:
+        errors.append("perf block has no regions")
+        return
+    for region in regions:
+        name = region.get("region", "<unnamed>")
+        for field in PERF_COUNT_FIELDS:
+            value = region.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(f"perf region {name}: {field} "
+                              f"{value!r} is not a non-negative "
+                              f"number")
+        for field in PERF_DERIVED_FIELDS:
+            if field not in region:
+                errors.append(f"perf region {name}: missing "
+                              f"derived '{field}'")
+    if errors[checked_before:]:
+        return
+
+    # The fallback contract: a software backend must not fake
+    # hardware numbers, a hardware backend must deliver them.
+    if backend == "software":
+        faked = [r["region"] for r in regions if r["cycles"] > 0]
+        if faked:
+            errors.append(f"perf: software backend reports nonzero "
+                          f"cycles in {faked[:3]}")
+    else:
+        live = [r for r in regions
+                if r["cycles"] > 0 and r["instructions"] > 0]
+        if not live:
+            errors.append("perf: hardware backend but no region "
+                          "has nonzero cycles and instructions")
+
+    if errors[checked_before:]:
+        return
+
+    # Derived statistics: printed always, budget-checked (warn-only)
+    # on hardware backends where the counters are real.
+    idle_periods = total_idle_periods(got)
+    for region in regions:
+        name = region["region"]
+        line = (f"perf region {name}: ipc {region['ipc']:.3f}, "
+                f"cache miss rate {region['cache_miss_rate']:.3f}, "
+                f"branch miss rate "
+                f"{region['branch_miss_rate']:.4f}")
+        if idle_periods and name in ("phase:simulation",
+                                     "cells:replay"):
+            line += (f", {region['cycles'] / idle_periods:.0f} "
+                     f"cycles/idle-period")
+        print(line)
+        if backend != "hardware":
+            continue
+        if region["cycles"] == 0:
+            continue
+        if region["ipc"] < min_ipc:
+            print(f"WARNING: perf region {name}: ipc "
+                  f"{region['ipc']:.3f} below advisory floor "
+                  f"{min_ipc:g}")
+        if region["cache_miss_rate"] > max_miss_rate:
+            print(f"WARNING: perf region {name}: cache miss rate "
+                  f"{region['cache_miss_rate']:.3f} above advisory "
+                  f"ceiling {max_miss_rate:g}")
+    print(f"perf ok: {backend} backend, {len(regions)} regions")
+
+
 def check_timeline_doc(path, doc, errors):
     """Invariants of one pcap-timeline-v1 document."""
     name = os.path.basename(path)
@@ -349,6 +467,18 @@ def main():
     parser.add_argument("--check-alerts", action="store_true",
                         help="require and schema-check the "
                              "candidate's pcap-alerts-v1 block")
+    parser.add_argument("--check-perf", action="store_true",
+                        help="require and schema-check the "
+                             "candidate's pcap-perf-v1 block")
+    parser.add_argument("--perf-min-ipc", type=float, default=0.05,
+                        metavar="IPC",
+                        help="advisory IPC floor for hardware perf "
+                             "regions (warn only; default: 0.05)")
+    parser.add_argument("--perf-max-miss-rate", type=float,
+                        default=0.95, metavar="RATE",
+                        help="advisory cache-miss-rate ceiling for "
+                             "hardware perf regions (warn only; "
+                             "default: 0.95)")
     args = parser.parse_args()
     if (args.max_any_report_seconds is not None
             and args.max_any_report_seconds <= 0):
@@ -371,6 +501,9 @@ def main():
     check_fleet(got, errors)
     if args.check_alerts:
         check_alerts(got, errors)
+    if args.check_perf:
+        check_perf(got, args.perf_min_ipc,
+                   args.perf_max_miss_rate, errors)
     if args.timeline_dir:
         check_timeline(args.timeline_dir, errors)
     check_budgets(got, args.max_report_seconds,

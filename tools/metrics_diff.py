@@ -45,6 +45,10 @@ DEFAULT_IGNORE = (
     # drops); timelines are opt-in artifacts checked by
     # compare_bench.py --timeline-dir, not a metrics family to diff.
     r"|pcap_trace_profile|pcap_timeline"
+    # Hardware-counter readings (--perf) are machine- and
+    # scheduling-dependent by nature; compare_bench.py --check-perf
+    # gates their schema instead.
+    r"|pcap_perf"
 )
 
 

@@ -16,8 +16,14 @@
 #      fired warn rule is tolerated (exit 3), critical (4) fails
 #   6. the fleet smoke drills its outlier hosts at two thread counts
 #      and the drill-down bundles must be byte-identical
-#   7. a timestamped BENCH_<tag>.json (+ .prom + manifest) lands at
-#      the repo root as the artifact of record for this revision.
+#   7. a hardware-counter run (--perf) must either deliver real
+#      counters or fall back cleanly to the software backend — never
+#      crash; its pcap-perf-v1 block is schema-gated (--check-perf)
+#      and a PCAP_PERF_BACKEND=software run must mark the forced
+#      fallback honestly
+#   8. a timestamped BENCH_<tag>.json (+ .prom + manifest) lands at
+#      the repo root as the artifact of record for this revision;
+#      the published run carries the perf block.
 #
 # Usage: tools/run_benchmarks.sh [jobs] [tag]
 #   jobs  worker threads for bench_all (default: hardware)
@@ -117,6 +123,32 @@ python3 "$root/tools/compare_bench.py" \
     --max-any-report-seconds 60
 
 echo
+echo "== hardware counters (--perf, warm cache) =="
+"$build/bench/bench_all" --jobs "$jobs" \
+    --cache-dir "$scratch/cache" \
+    --json "$scratch/perf.json" \
+    --perf > /dev/null
+python3 "$root/tools/compare_bench.py" \
+    "$root/bench/reference/BENCH_RESULTS.ref.json" \
+    "$scratch/perf.json" \
+    --check-perf \
+    --max-report-seconds ablation_cache=20 \
+    --max-any-report-seconds 60
+PCAP_PERF_BACKEND=software "$build/bench/bench_all" --jobs "$jobs" \
+    --cache-dir "$scratch/cache" \
+    --json "$scratch/perf-sw.json" \
+    --perf > /dev/null
+python3 - "$scratch/perf-sw.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+perf = doc["perf"]
+assert perf["backend"] == "software", perf["backend"]
+assert "PCAP_PERF_BACKEND" in perf["detail"], perf["detail"]
+print("forced software fallback: marked honestly")
+EOF
+
+echo
 echo "== fleet smoke (128 hosts, two thread counts, drill-down) =="
 "$build/bench/bench_all" --report fleet --hosts 128 --jobs 1 \
     --cache-dir "$scratch/cache" \
@@ -137,7 +169,10 @@ python3 "$root/tools/pcap_fleet_report.py" "$scratch/drill-a" \
 
 echo
 echo "== publish BENCH_$tag.json =="
-cp "$scratch/warm.json" "$root/BENCH_$tag.json"
-cp "$scratch/warm.prom" "$root/BENCH_$tag.prom"
-cp "$scratch/warm.manifest.json" "$root/BENCH_$tag.manifest.json"
+# The perf run is the artifact of record: identical reports (gated
+# above), plus the pcap-perf-v1 block and the capability record in
+# its manifest.
+cp "$scratch/perf.json" "$root/BENCH_$tag.json"
+cp "$scratch/perf.prom" "$root/BENCH_$tag.prom"
+cp "$scratch/perf.manifest.json" "$root/BENCH_$tag.manifest.json"
 echo "wrote $root/BENCH_$tag.json (+ .prom, .manifest.json)"
