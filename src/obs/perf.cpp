@@ -27,12 +27,18 @@ namespace {
 
 std::atomic<PerfProfiler *> gProfiler{nullptr};
 
-/** Per-thread group cache, keyed by the owning profiler so a fresh
- * profiler never sees a stale pointer (same discipline as the trace
- * recorder's buffer slot). */
+/** Source of PerfProfiler::generation_ ids. Never reused, so a
+ * thread slot left behind by a destroyed profiler can never match a
+ * new one — even when the stack hands the new profiler the old
+ * profiler's address. */
+std::atomic<std::uint64_t> gProfilerGeneration{0};
+
+/** Per-thread group cache, keyed by the owning profiler's generation
+ * id so a fresh profiler never sees a stale pointer (same discipline
+ * as the trace recorder's buffer slot). */
 struct ThreadSlot
 {
-    const void *owner = nullptr;
+    std::uint64_t owner = 0; ///< profiler generation, 0 = none
     void *group = nullptr;
 };
 
@@ -231,8 +237,13 @@ PerfCounterGroup::PerfCounterGroup(PerfBackend backend)
         for (const EventSpec &spec : kEvents) {
             const int fd = openPerfEvent(spec, leaderFd_);
             if (fd < 0) {
-                if (leaderFd_ == -1)
+                if (leaderFd_ == -1) {
+                    // Capture errno before anything else (clock
+                    // reads, vector ops) can clobber it; probe()
+                    // reports this, not the global errno.
+                    openErrno_ = errno;
                     break; // no leader, no group
+                }
                 // A missing sibling (ENOENT on unusual PMUs) is
                 // tolerable: that counter just reads 0.
                 continue;
@@ -330,7 +341,7 @@ PerfCounterGroup::probe()
         cap.detail = "ok";
         return cap;
     }
-    cap.detail = openFailureDetail(errno);
+    cap.detail = openFailureDetail(group.openErrno_);
 #else
     cap.detail = "perf_event_open unavailable (not Linux)";
 #endif
@@ -338,6 +349,10 @@ PerfCounterGroup::probe()
 }
 
 PerfProfiler::PerfProfiler()
+    : generation_(
+          gProfilerGeneration.fetch_add(1,
+                                        std::memory_order_relaxed) +
+          1)
 {
     capability_ = PerfCounterGroup::probe();
     backend_ = capability_.hardware ? PerfBackend::Hardware
@@ -350,17 +365,18 @@ PerfProfiler::PerfProfiler()
             backend_ = PerfBackend::Software;
             detail_ = "forced by PCAP_PERF_BACKEND=software";
         } else if (mode == "hardware") {
-            // Honor the request even when the probe failed: the
-            // groups will degrade per-thread and the backend label
-            // stays honest about what was asked for.
-            backend_ = PerfBackend::Hardware;
-            detail_ = capability_.hardware
-                          ? "forced by PCAP_PERF_BACKEND=hardware"
-                          : "PCAP_PERF_BACKEND=hardware requested "
-                            "but probe failed: " +
-                                capability_.detail;
-            if (!capability_.hardware)
+            if (capability_.hardware) {
+                backend_ = PerfBackend::Hardware;
+                detail_ = "forced by PCAP_PERF_BACKEND=hardware";
+            } else {
+                // The request cannot be honored without a working
+                // probe: fall back to software, but say what was
+                // asked for and why it failed.
                 backend_ = PerfBackend::Software;
+                detail_ = "PCAP_PERF_BACKEND=hardware requested "
+                          "but probe failed: " +
+                          capability_.detail;
+            }
         } else if (mode != "auto" && !mode.empty()) {
             warn("unknown PCAP_PERF_BACKEND value \"" + mode +
                  "\" (want auto|hardware|software); using " +
@@ -372,10 +388,10 @@ PerfProfiler::PerfProfiler()
 PerfCounterGroup &
 PerfProfiler::threadGroup()
 {
-    if (tSlot.owner != this) {
+    if (tSlot.owner != generation_) {
         std::lock_guard<std::mutex> lock(mutex_);
         auto group = std::make_unique<PerfCounterGroup>(backend_);
-        tSlot.owner = this;
+        tSlot.owner = generation_;
         tSlot.group = group.get();
         groups_.push_back(std::move(group));
     }

@@ -133,6 +133,10 @@ class PerfCounterGroup
      * value to its PerfCounts field. */
     std::vector<int> fds_;
     std::vector<int> slots_;
+    /** errno captured immediately after a failed leader open (0 when
+     * the group opened); probe() reports it instead of the global
+     * errno, which later calls may have clobbered. */
+    int openErrno_ = 0;
     std::uint64_t softwareEpochNs_ = 0; ///< monotonic, software only
 };
 
@@ -169,6 +173,11 @@ class PerfProfiler
   private:
     PerfCounterGroup &threadGroup();
 
+    /** Process-unique id keying per-thread group slots. Slots must
+     * not key on the profiler's address: successive stack-local
+     * profilers reuse it, and a stale slot would hand the new
+     * profiler a freed group. */
+    const std::uint64_t generation_;
     PerfBackend backend_;
     PerfCapability capability_;
     std::string detail_;

@@ -16,6 +16,12 @@ namespace {
 
 std::atomic<TraceRecorder *> gRecorder{nullptr};
 
+/** Source of TraceRecorder::generation_ ids. Never reused, so a
+ * thread slot left behind by a destroyed recorder can never match a
+ * new one — even when the stack hands the new recorder the old
+ * recorder's address. */
+std::atomic<std::uint64_t> gRecorderGeneration{0};
+
 std::int64_t
 steadyNowNs()
 {
@@ -24,11 +30,11 @@ steadyNowNs()
         .count();
 }
 
-/** Per-thread buffer cache, keyed by the owning recorder so a
- * fresh recorder never sees a stale pointer. */
+/** Per-thread buffer cache, keyed by the owning recorder's
+ * generation id so a fresh recorder never sees a stale pointer. */
 struct ThreadSlot
 {
-    const void *owner = nullptr;
+    std::uint64_t owner = 0; ///< recorder generation, 0 = none
     void *buffer = nullptr;
 };
 
@@ -82,7 +88,11 @@ writeMicros(std::ostream &os, std::uint64_t ns)
 } // namespace
 
 TraceRecorder::TraceRecorder(std::size_t capacity)
-    : capacity_(capacity), epochNs_(steadyNowNs())
+    : generation_(
+          gRecorderGeneration.fetch_add(1,
+                                        std::memory_order_relaxed) +
+          1),
+      capacity_(capacity), epochNs_(steadyNowNs())
 {
     if (capacity == 0)
         panic("TraceRecorder capacity must be positive");
@@ -97,14 +107,18 @@ TraceRecorder::nowNs() const
 TraceRecorder::ThreadBuffer &
 TraceRecorder::threadBuffer()
 {
-    if (tSlot.owner != this) {
+    if (tSlot.owner != generation_) {
         std::lock_guard<std::mutex> lock(mutex_);
-        auto buffer = std::make_unique<ThreadBuffer>(capacity_);
+        // The perf side array exists only when counter attribution
+        // is armed at registration time; bench_all installs both
+        // sinks before any span runs.
+        auto buffer = std::make_unique<ThreadBuffer>(capacity_,
+                                                     perfEnabled());
         buffer->name = buffers_.empty()
                            ? "main"
                            : "worker-" +
                                  std::to_string(buffers_.size());
-        tSlot.owner = this;
+        tSlot.owner = generation_;
         tSlot.buffer = buffer.get();
         buffers_.push_back(std::move(buffer));
     }
@@ -128,8 +142,8 @@ TraceRecorder::append(const char *name, std::string_view detail,
     event.durNs = durNs;
     event.name = name;
     copyDetail(event.detail, detail);
-    if (perf) {
-        event.perf = *perf;
+    if (perf && used < buffer.perf.size()) {
+        buffer.perf[used] = *perf;
         event.hasPerf = true;
     }
     // Publish after the payload so a post-join reader never sees a
@@ -216,7 +230,7 @@ TraceRecorder::writeChromeTrace(const std::string &path) const
                     firstArg = false;
                 }
                 if (event.hasPerf) {
-                    const PerfCounts &perf = event.perf;
+                    const PerfCounts &perf = buffer.perf[i];
                     char num[64];
                     const auto arg =
                         [&](const char *key,

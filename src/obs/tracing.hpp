@@ -44,10 +44,13 @@ struct TraceEvent
     const char *name = nullptr; ///< string literal (category label)
     std::array<char, kSpanDetailBytes> detail{}; ///< arg, may be ""
 
-    /** Counter delta over the span, when a PerfProfiler was
-     * installed alongside the recorder (--trace-profile --perf);
-     * rendered as ipc/cycles/miss args on the trace event. */
-    PerfCounts perf;
+    /** True when a counter delta was recorded over the span (a
+     * PerfProfiler installed alongside the recorder:
+     * --trace-profile --perf). The delta itself lives at this
+     * event's index in the thread buffer's perf side array —
+     * embedding the ~80-byte PerfCounts here would double every
+     * per-thread trace buffer even with --perf off. Rendered as
+     * ipc/cycles/miss args on the trace event. */
     bool hasPerf = false;
 };
 
@@ -85,12 +88,17 @@ class TraceRecorder
   private:
     struct ThreadBuffer
     {
-        explicit ThreadBuffer(std::size_t capacity)
-            : events(capacity)
+        ThreadBuffer(std::size_t capacity, bool withPerf)
+            : events(capacity), perf(withPerf ? capacity : 0)
         {
         }
 
         std::vector<TraceEvent> events;
+        /** Counter deltas parallel to events, preallocated (never
+         * reallocates, same single-writer discipline) only when a
+         * PerfProfiler was installed at registration; empty — and
+         * deltas dropped — otherwise. */
+        std::vector<PerfCounts> perf;
         std::atomic<std::uint64_t> size{0}; ///< published count
         std::atomic<std::uint64_t> dropped{0};
         std::string name;
@@ -98,6 +106,11 @@ class TraceRecorder
 
     ThreadBuffer &threadBuffer();
 
+    /** Process-unique id keying per-thread buffer slots. Slots must
+     * not key on the recorder's address: successive stack-local
+     * recorders reuse it, and a stale slot would hand the new
+     * recorder a freed buffer. */
+    const std::uint64_t generation_;
     std::size_t capacity_;
     std::int64_t epochNs_;
     mutable std::mutex mutex_; ///< guards buffers_ registration

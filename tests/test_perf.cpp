@@ -217,6 +217,27 @@ TEST(PerfProfiler, RegionsAccumulateAndSort)
     EXPECT_GT(into.taskClockNs, 0u);
 }
 
+TEST(PerfProfiler, SuccessiveProfilersNeverReuseStaleGroups)
+{
+    BackendEnv env("software");
+    // Stack-local profilers land at the same address run after run,
+    // so the per-thread group slot must key on a generation id, not
+    // the profiler's address — an address-keyed slot would hand
+    // every profiler after the first a freed group (use-after-free
+    // under ASan).
+    for (int i = 0; i < 3; ++i) {
+        PerfProfiler profiler;
+        ScopedProfiler installed(profiler);
+        {
+            PerfRegion region("test:generation");
+            spinUntilCpuTimeAdvances();
+        }
+        const auto regions = profiler.regions();
+        ASSERT_EQ(regions.size(), 1u);
+        EXPECT_GT(regions[0].second.taskClockNs, 0u);
+    }
+}
+
 TEST(PerfProfiler, WorkerThreadsGetTheirOwnGroups)
 {
     BackendEnv env("software");

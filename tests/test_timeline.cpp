@@ -20,11 +20,13 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/perf.hpp"
 #include "obs/sketch.hpp"
 #include "obs/timeline.hpp"
 #include "obs/tracing.hpp"
@@ -243,6 +245,36 @@ TEST(TraceRecorder, SpansRecordAndExportWellFormedJson)
     // Braces and brackets balance — the file parses as JSON.
     EXPECT_EQ(countOf("{"), countOf("}"));
     EXPECT_EQ(countOf("["), countOf("]"));
+}
+
+TEST(TraceRecorder, SpansCarryPerfArgsWhenProfilerInstalled)
+{
+    // Counter deltas live in a per-thread side array allocated only
+    // when a profiler is armed at buffer registration — so install
+    // the profiler first, like bench_all does, and force the
+    // software backend so the test needs no PMU access.
+    setenv("PCAP_PERF_BACKEND", "software", 1);
+    obs::PerfProfiler profiler;
+    obs::setPerfProfiler(&profiler);
+    obs::TraceRecorder recorder(16);
+    obs::setTraceRecorder(&recorder);
+    { obs::Span span("profiled", "with-counters"); }
+    obs::setTraceRecorder(nullptr);
+    obs::setPerfProfiler(nullptr);
+    unsetenv("PCAP_PERF_BACKEND");
+    EXPECT_EQ(recorder.totalEvents(), 1u);
+
+    const std::string path =
+        testing::TempDir() + "/pcap-trace-perf-test.json";
+    recorder.writeChromeTrace(path);
+    std::ifstream is(path);
+    ASSERT_TRUE(is);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const std::string text = buffer.str();
+    EXPECT_NE(text.find("\"cycles\": "), std::string::npos);
+    EXPECT_NE(text.find("\"ipc\": "), std::string::npos);
+    EXPECT_NE(text.find("\"task_clock_us\": "), std::string::npos);
 }
 
 TEST(TraceRecorder, RingOverflowDropsInsteadOfGrowing)
